@@ -1,0 +1,30 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench bench-full report examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.experiments.report benchmarks/results EXPERIMENTS.md
+
+examples:
+	python examples/quickstart.py
+	python examples/clean_your_own_csv.py
+	python examples/sampler_comparison.py
+	python examples/baseline_shootout.py
+	python examples/error_analysis.py
+	python examples/detect_and_repair.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

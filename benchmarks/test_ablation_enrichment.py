@@ -1,0 +1,40 @@
+"""Ablation B: what does each ETSB-RNN enrichment buy? (Section 4.3.2)
+
+ETSB-RNN adds two inputs on top of TSB-RNN: the attribute metadata and
+the normalised value length.  This bench isolates their contribution by
+comparing TSB-RNN (value only) against ETSB-RNN (value + attribute +
+length) on a dataset where attribute context matters: beers, whose
+formatting errors ('12.0 oz' in ounces, '0.061%' in abv) are
+attribute-specific patterns.
+
+Shape check: the enriched model matches or beats the plain one -- the
+paper's Table 3 finding ("ETSB-RNN outperforms the simpler model
+TSB-RNN on all datasets").
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="ablation-enrichment")
+def test_ablation_enrichment(benchmark, scale, pool):
+    dataset = "beers"
+
+    def run_all():
+        # Shares the Table 3 result pool: identical settings, memoised.
+        return {
+            architecture: pool.model_result(dataset, architecture)
+            for architecture in ("tsb", "etsb")
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"dataset: {dataset}", "inputs,F1_mean,F1_sd"]
+    lines.append(f"value only (TSB),{results['tsb'].f1.mean:.3f},"
+                 f"{results['tsb'].f1.stdev:.3f}")
+    lines.append(f"value+attribute+length (ETSB),{results['etsb'].f1.mean:.3f},"
+                 f"{results['etsb'].f1.stdev:.3f}")
+    write_result("ablation_enrichment.csv", "\n".join(lines))
+
+    assert results["etsb"].f1.mean >= results["tsb"].f1.mean - 0.05

@@ -1,0 +1,81 @@
+"""Microbenchmarks of the substrates (not a paper table).
+
+Tracks the cost of the hot paths that dominate training and the Raha
+baseline: one forward+backward pass of the bidirectional stacked RNN,
+embedding lookup, the long-format merge of the preparation pipeline, and
+the verdict clustering.  Useful for catching performance regressions in
+the from-scratch engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.clustering import agglomerative_clusters
+from repro.dataprep import prepare
+from repro.datasets import load
+from repro.nn import BidirectionalRNN, Dense, Embedding
+from repro.nn.losses import one_hot
+from repro.nn import categorical_cross_entropy
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_birnn_forward_backward(benchmark, rng=np.random.default_rng(0)):
+    """One training step of the paper-sized value branch (batch 55)."""
+    emb = Embedding(87, 32, rng)
+    birnn = BidirectionalRNN(32, 64, rng, num_layers=2)
+    head = Dense(128, 2, rng, activation="softmax")
+    indices = rng.integers(1, 87, size=(55, 24))
+    indices[:, 16:] = 0  # padded tail
+    labels = one_hot(rng.integers(0, 2, size=55), 2)
+
+    def step():
+        mask = indices != 0
+        probs = head(birnn(emb(indices), mask=mask))
+        loss = categorical_cross_entropy(probs, labels)
+        loss.backward()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_embedding_lookup_large(benchmark):
+    rng = np.random.default_rng(0)
+    emb = Embedding(136, 32, rng)
+    indices = rng.integers(0, 136, size=(256, 128))
+    out = benchmark(lambda: emb(indices).numpy().sum())
+    assert np.isfinite(out)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_tensor_matmul_backward(benchmark):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(128, 64)), requires_grad=True)
+    b = Tensor(rng.normal(size=(64, 64)), requires_grad=True)
+
+    def step():
+        a.zero_grad()
+        b.zero_grad()
+        ((a @ b) ** 2).sum().backward()
+        return float(a.grad.sum())
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_preparation_pipeline(benchmark):
+    """Wide->long merge + dictionaries on a mid-sized pair."""
+    pair = load("beers", n_rows=400, seed=0)
+    prepared = benchmark(lambda: prepare(pair.dirty, pair.clean))
+    assert prepared.df.n_rows == 400 * 11
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_verdict_clustering(benchmark):
+    rng = np.random.default_rng(0)
+    vectors = (rng.random((2000, 8)) < 0.15).astype(float)
+    labels = benchmark(lambda: agglomerative_clusters(vectors, 41))
+    assert labels.shape == (2000,)

@@ -1,0 +1,29 @@
+"""Table 2: dataset overview (size, error rate, characters, error types).
+
+Regenerates the paper's dataset-statistics table from the synthetic
+generators and checks the error rates match the published ones.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.datasets import dataset_spec, load
+from repro.experiments import render_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_overview(benchmark, pairs):
+    table, text = benchmark.pedantic(
+        lambda: render_table2(list(pairs.values())), rounds=1, iterations=1)
+    write_result("table2_datasets.txt", text)
+    assert table.n_rows == 6
+    for pair in pairs.values():
+        target = dataset_spec(pair.name).paper_error_rate
+        assert abs(pair.measured_error_rate() - target) < 0.02
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_generation_speed(benchmark):
+    """Times generating one mid-sized dataset pair from scratch."""
+    pair = benchmark(lambda: load("beers", n_rows=500, seed=2))
+    assert pair.n_rows == 500

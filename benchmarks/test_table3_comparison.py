@@ -1,0 +1,52 @@
+"""Table 3: P/R/F1 per dataset -- TSB-RNN and ETSB-RNN vs the baselines.
+
+Trains both architectures on all six datasets (repeated runs, DiverSet
+sampling, 20 labelled tuples) plus our from-scratch Raha implementation,
+and renders the comparison table next to the paper's published rows.
+
+Shape checks (not absolute numbers -- our substrate is a scaled CPU
+simulator of the authors' GPU setup):
+
+* ETSB-RNN's average F1 is at least TSB-RNN's (the paper's headline);
+* hospital is easy (x-marked typos) and flights is the hardest dataset
+  for the RNNs, mirroring Section 5.5.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import render_table3
+from repro.experiments.fidelity import fidelity_report
+from repro.experiments.tables import f1_averages
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_comparison(benchmark, pool, pairs, scale):
+    def run_all():
+        results = pool.all_model_results()
+        results += [pool.raha_result(name) for name in pairs]
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table, text = render_table3(results)
+    write_result("table3_comparison.txt", text)
+
+    fidelity_blocks = [fidelity_report(results, system).render()
+                       for system in ("TSB-RNN", "ETSB-RNN")]
+    write_result("fidelity.txt", "\n\n".join(fidelity_blocks))
+
+    averages = f1_averages(results)
+    etsb = averages["ETSB-RNN"]
+    tsb = averages["TSB-RNN"]
+    # Paper shape: the enriched model wins on average.
+    assert etsb["avg_w"] >= tsb["avg_w"] - 0.02
+
+    etsb_by_dataset = {
+        r.dataset: r.f1.mean for r in results if r.system == "ETSB-RNN"}
+    # Section 5.5 shape: hospital is among the easiest datasets for the
+    # character model and flights clearly harder than hospital.  (The
+    # paper's "flights is the global minimum" needs full-scale training;
+    # at reduced scale Tax -- the paper's highest-variance dataset --
+    # can dip below it.)
+    assert etsb_by_dataset["hospital"] >= 0.8
+    assert etsb_by_dataset["flights"] <= etsb_by_dataset["hospital"] - 0.05

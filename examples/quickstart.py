@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: detect errors in a benchmark dataset with ETSB-RNN.
+
+Mirrors the paper's "system in action" flow end to end:
+
+1. load a (dirty, clean) dataset pair;
+2. let DiverSet pick the 20 tuples worth labelling;
+3. train the Enriched Two-Stacked Bidirectional RNN on those tuples;
+4. evaluate precision / recall / F1 on the remaining cells;
+5. list a few detected errors.
+
+Run with reduced settings (finishes in ~1 minute on a laptop):
+
+    python examples/quickstart.py
+
+or closer to the paper's configuration:
+
+    python examples/quickstart.py --rows 1000 --epochs 120
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ErrorDetector, TrainingConfig, load_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="hospital",
+                        help="benchmark dataset name (default: hospital)")
+    parser.add_argument("--rows", type=int, default=150,
+                        help="dataset size (default: 150, paper: full size)")
+    parser.add_argument("--epochs", type=int, default=60,
+                        help="training epochs (default: 60, paper: 120)")
+    parser.add_argument("--tuples", type=int, default=20,
+                        help="tuples the 'user' labels (default: 20)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Generating the {args.dataset} dataset "
+          f"({args.rows} rows, paper error profile)...")
+    pair = load_dataset(args.dataset, n_rows=args.rows, seed=1)
+    print(f"  shape: {pair.dirty.shape}, "
+          f"error rate: {pair.measured_error_rate():.2%}, "
+          f"distinct characters: {pair.distinct_characters()}")
+
+    print(f"\nTraining ETSB-RNN ({args.epochs} epochs, "
+          f"{args.tuples} labelled tuples chosen by DiverSet)...")
+    detector = ErrorDetector(
+        architecture="etsb",
+        n_label_tuples=args.tuples,
+        training_config=TrainingConfig(epochs=args.epochs),
+        seed=args.seed,
+    )
+    detector.fit(pair)
+
+    result = detector.evaluate()
+    print(f"\nHeld-out evaluation over {detector.split.test_size} cells:")
+    print(f"  precision: {result.report.precision:.2f}")
+    print(f"  recall:    {result.report.recall:.2f}")
+    print(f"  F1-score:  {result.report.f1:.2f}")
+    print(f"  best epoch (lowest train loss): {detector.checkpoint.best_epoch}")
+
+    detected = result.errors()
+    print(f"\nDetected {len(detected)} suspicious cells; first 10:")
+    for tuple_id, attribute in detected[:10]:
+        value = pair.dirty.column(attribute)[tuple_id]
+        truth = pair.clean.column(attribute)[tuple_id]
+        verdict = "true error" if str(value).lstrip() != str(truth).lstrip() \
+            else "false positive"
+        print(f"  tuple {tuple_id:>4}  {attribute:<15} "
+              f"value={value!r:<25} ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

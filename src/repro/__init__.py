@@ -1,0 +1,54 @@
+"""repro: a reproduction of "Detecting Errors in Databases with
+Bidirectional Recurrent Neural Networks" (Holzer & Stockinger, EDBT 2022).
+
+Quickstart
+----------
+>>> from repro import ErrorDetector, load_dataset
+>>> pair = load_dataset("hospital", n_rows=200)
+>>> detector = ErrorDetector(architecture="etsb", n_label_tuples=20)
+>>> detector.fit(pair)                          # doctest: +SKIP
+>>> detector.evaluate().report                  # doctest: +SKIP
+
+Subpackages
+-----------
+- :mod:`repro.models` -- TSB-RNN / ETSB-RNN and the ErrorDetector API
+- :mod:`repro.sampling` -- RandomSet / RahaSet / DiverSet trainset selection
+- :mod:`repro.dataprep` -- the Figure 3 preparation pipeline
+- :mod:`repro.datasets` -- the six benchmark dataset generators
+- :mod:`repro.baselines` -- from-scratch Raha-style and augmentation baselines
+- :mod:`repro.experiments` -- harness reproducing every table and figure
+- :mod:`repro.nn`, :mod:`repro.autograd` -- the neural-network substrate
+- :mod:`repro.table` -- the relational table substrate
+- :mod:`repro.metrics` -- classification metrics and run statistics
+"""
+
+from repro.datasets import load as load_dataset
+from repro.models import (
+    DetectionResult,
+    ErrorDetector,
+    ETSBRNN,
+    ModelConfig,
+    TrainingConfig,
+    TSBRNN,
+)
+from repro.sampling import DiverSet, RahaSet, RandomSet
+from repro.table import Table, read_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ErrorDetector",
+    "DetectionResult",
+    "TSBRNN",
+    "ETSBRNN",
+    "ModelConfig",
+    "TrainingConfig",
+    "DiverSet",
+    "RahaSet",
+    "RandomSet",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "load_dataset",
+    "__version__",
+]

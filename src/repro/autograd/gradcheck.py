@@ -1,0 +1,63 @@
+"""Finite-difference gradient checking.
+
+Used by the test suite to validate every analytic gradient in
+:mod:`repro.autograd` and :mod:`repro.nn` against a central-difference
+approximation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                       epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn()`` (a scalar) w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = fn().item()
+        flat[i] = original - epsilon
+        lower = fn().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
+                    epsilon: float = 1e-6, atol: float = 1e-5,
+                    rtol: float = 1e-4) -> None:
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Parameters
+    ----------
+    fn:
+        A zero-argument callable that rebuilds the scalar loss from the
+        current values of ``tensors`` (it is re-evaluated many times).
+    tensors:
+        Leaf tensors with ``requires_grad=True`` whose gradients to check.
+
+    Raises
+    ------
+    AssertionError
+        When any analytic gradient deviates beyond the tolerances.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    loss = fn()
+    loss.backward()
+    for index, tensor in enumerate(tensors):
+        analytic = tensor.grad
+        assert analytic is not None, f"tensor #{index} received no gradient"
+        numeric = numerical_gradient(fn, tensor, epsilon=epsilon)
+        np.testing.assert_allclose(
+            analytic, numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for tensor #{index} (shape {tensor.shape})",
+        )

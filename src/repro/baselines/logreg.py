@@ -1,0 +1,97 @@
+"""L2-regularised logistic regression trained by full-batch gradient descent.
+
+The per-column classifier of the Raha-style baseline and the sequence
+classifier of the augmentation baseline.  Kept dependency-free (numpy
+only) and deliberately simple: the feature spaces are tiny (a handful of
+strategy verdicts or hashed n-grams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class LogisticRegression:
+    """Binary logistic regression.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    n_iterations:
+        Number of full-batch updates.
+    l2:
+        L2 penalty weight on the coefficients (not the intercept).
+    class_weight:
+        ``"balanced"`` reweights examples inversely to class frequency
+        (important: error cells are rare); ``None`` weights uniformly.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, n_iterations: int = 300,
+                 l2: float = 1e-3, class_weight: str | None = "balanced"):
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if n_iterations < 1:
+            raise ConfigurationError(f"n_iterations must be >= 1, got {n_iterations}")
+        if class_weight not in (None, "balanced"):
+            raise ConfigurationError(
+                f"class_weight must be None or 'balanced', got {class_weight!r}"
+            )
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.class_weight = class_weight
+        self.coefficients: np.ndarray | None = None
+        self.intercept: float = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit on ``(n, d)`` features and binary ``(n,)`` labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2 or labels.ndim != 1:
+            raise ConfigurationError(
+                f"expected 2-d features and 1-d labels, got {features.shape}, {labels.shape}"
+            )
+        if features.shape[0] != labels.shape[0]:
+            raise ConfigurationError(
+                f"feature rows {features.shape[0]} != label count {labels.shape[0]}"
+            )
+        n, d = features.shape
+        if n == 0:
+            raise ConfigurationError("cannot fit on an empty training set")
+
+        weights = np.ones(n)
+        if self.class_weight == "balanced":
+            positives = labels.sum()
+            negatives = n - positives
+            if positives > 0 and negatives > 0:
+                weights = np.where(labels == 1, n / (2 * positives), n / (2 * negatives))
+        weights /= weights.sum()
+
+        coef = np.zeros(d)
+        intercept = 0.0
+        for _ in range(self.n_iterations):
+            logits = features @ coef + intercept
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+            residual = weights * (probs - labels)
+            grad_coef = features.T @ residual + self.l2 * coef
+            grad_intercept = residual.sum()
+            coef -= self.learning_rate * grad_coef
+            intercept -= self.learning_rate * grad_intercept
+        self.coefficients = coef
+        self.intercept = float(intercept)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        if self.coefficients is None:
+            raise NotFittedError("LogisticRegression.fit has not been called")
+        features = np.asarray(features, dtype=np.float64)
+        logits = features @ self.coefficients + self.intercept
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)

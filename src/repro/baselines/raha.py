@@ -1,0 +1,184 @@
+"""A Raha-style configuration-free error detector.
+
+Follows the published Raha design (Mahdavi et al., SIGMOD 2019):
+
+1. run an ensemble of unsupervised detection strategies over the dirty
+   table;
+2. represent every cell as the binary vector of strategy verdicts;
+3. cluster each column's cells by verdict similarity (hierarchical
+   agglomerative clustering);
+4. ask the user to label a few *tuples*, chosen so that their cells cover
+   as many unlabelled clusters as possible;
+5. propagate the obtained cell labels to all cells of the same cluster;
+6. train a per-column classifier on the propagated labels and predict an
+   error mask for the whole table.
+
+The same clustering state drives the paper's Algorithm 2 sampler
+(:class:`repro.sampling.raha_set.RahaSet`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.clustering import agglomerative_clusters
+from repro.baselines.logreg import LogisticRegression
+from repro.baselines.strategies import (
+    DetectionStrategy,
+    default_strategies,
+    run_strategies,
+)
+from repro.errors import ConfigurationError, NotFittedError
+from repro.table import Table
+
+
+@dataclass
+class _ColumnState:
+    """Per-column feature matrix and clustering."""
+
+    features: np.ndarray          # (n_rows, n_strategies)
+    cluster_labels: np.ndarray    # (n_rows,)
+    n_clusters: int
+
+
+class RahaDetector:
+    """Configuration-free error detection via strategy-verdict clustering.
+
+    Parameters
+    ----------
+    strategies:
+        Detection strategies; defaults to
+        :func:`repro.baselines.strategies.default_strategies`.
+    clusters_per_label:
+        Cluster count per column is
+        ``min(n_labels * clusters_per_label + 1, n_rows)``; more clusters
+        give finer label propagation at the cost of coverage.
+    rng:
+        Random generator used for clustering subsamples and tie-breaks.
+    """
+
+    def __init__(self, strategies: Sequence[DetectionStrategy] | None = None,
+                 clusters_per_label: int = 2,
+                 rng: np.random.Generator | None = None):
+        if clusters_per_label < 1:
+            raise ConfigurationError(
+                f"clusters_per_label must be >= 1, got {clusters_per_label}"
+            )
+        self.strategies = list(strategies) if strategies is not None else default_strategies()
+        self.clusters_per_label = clusters_per_label
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._columns: list[_ColumnState] | None = None
+        self._dirty: Table | None = None
+
+    # -- unsupervised phase ---------------------------------------------------
+
+    def analyze(self, dirty: Table, n_labels: int = 20) -> None:
+        """Run strategies and cluster each column (steps 1-3)."""
+        verdicts = run_strategies(dirty, self.strategies)  # (rows, attrs, strats)
+        n_clusters = n_labels * self.clusters_per_label + 1
+        columns = []
+        for j in range(dirty.n_cols):
+            features = verdicts[:, j, :].astype(np.float64)
+            labels = agglomerative_clusters(
+                features, min(n_clusters, dirty.n_rows), rng=self._rng)
+            columns.append(_ColumnState(
+                features=features,
+                cluster_labels=labels,
+                n_clusters=int(labels.max()) + 1 if len(labels) else 0,
+            ))
+        self._columns = columns
+        self._dirty = dirty
+
+    def _require_analyzed(self) -> tuple[Table, list[_ColumnState]]:
+        if self._columns is None or self._dirty is None:
+            raise NotFittedError("call analyze() before sampling or fitting")
+        return self._dirty, self._columns
+
+    # -- tuple sampling (step 4; used by RahaSet) --------------------------------
+
+    def sample_tuples(self, n_obs: int) -> list[int]:
+        """Greedily pick tuples whose cells cover the most unlabelled clusters."""
+        dirty, columns = self._require_analyzed()
+        if n_obs > dirty.n_rows:
+            raise ConfigurationError(
+                f"cannot sample {n_obs} tuples from {dirty.n_rows} rows"
+            )
+        covered: list[set[int]] = [set() for _ in columns]
+        chosen: list[int] = []
+        chosen_set: set[int] = set()
+        for _ in range(n_obs):
+            best_rows: list[int] = []
+            best_gain = -1
+            for row in range(dirty.n_rows):
+                if row in chosen_set:
+                    continue
+                gain = sum(
+                    1 for j, state in enumerate(columns)
+                    if int(state.cluster_labels[row]) not in covered[j]
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_rows = [row]
+                elif gain == best_gain:
+                    best_rows.append(row)
+            pick = best_rows[int(self._rng.integers(len(best_rows)))]
+            chosen.append(pick)
+            chosen_set.add(pick)
+            for j, state in enumerate(columns):
+                covered[j].add(int(state.cluster_labels[pick]))
+        return chosen
+
+    # -- supervised phase ------------------------------------------------------
+
+    def fit_predict(self, labeled_rows: Sequence[int],
+                    cell_labels: np.ndarray) -> np.ndarray:
+        """Propagate labels and classify every cell (steps 5-6).
+
+        Parameters
+        ----------
+        labeled_rows:
+            Row indices the user labelled.
+        cell_labels:
+            ``(len(labeled_rows), n_attributes)`` binary ground-truth
+            labels for those rows' cells.
+
+        Returns
+        -------
+        ``(n_rows, n_attributes)`` binary error predictions.
+        """
+        dirty, columns = self._require_analyzed()
+        labeled_rows = list(labeled_rows)
+        cell_labels = np.asarray(cell_labels, dtype=np.int64)
+        if cell_labels.shape != (len(labeled_rows), dirty.n_cols):
+            raise ConfigurationError(
+                f"cell_labels shape {cell_labels.shape} does not match "
+                f"({len(labeled_rows)}, {dirty.n_cols})"
+            )
+
+        predictions = np.zeros((dirty.n_rows, dirty.n_cols), dtype=np.int64)
+        for j, state in enumerate(columns):
+            # Label propagation: each labelled cell stamps its cluster.
+            cluster_votes: dict[int, list[int]] = {}
+            for row, label in zip(labeled_rows, cell_labels[:, j]):
+                cluster_votes.setdefault(
+                    int(state.cluster_labels[row]), []).append(int(label))
+            propagated_features = []
+            propagated_labels = []
+            for cluster, votes in cluster_votes.items():
+                majority = 1 if sum(votes) * 2 >= len(votes) else 0
+                members = np.where(state.cluster_labels == cluster)[0]
+                propagated_features.append(state.features[members])
+                propagated_labels.append(np.full(len(members), majority))
+            features = np.concatenate(propagated_features, axis=0)
+            labels = np.concatenate(propagated_labels, axis=0)
+            if labels.min() == labels.max():
+                # Single-class training data: predict that class everywhere.
+                predictions[:, j] = labels[0]
+                continue
+            classifier = LogisticRegression()
+            classifier.fit(features, labels)
+            predictions[:, j] = classifier.predict(state.features)
+        return predictions

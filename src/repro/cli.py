@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main workflows::
+
+    repro datasets                          # Table 2 overview
+    repro detect  --dirty d.csv --clean c.csv --out errors.csv
+    repro repair  --dirty d.csv --clean c.csv --out repaired.csv
+    repro benchmark --dataset beers --rows 200 --runs 2
+
+``detect``/``repair`` also accept ``--save model.npz`` /
+``--model model.npz`` for reusing a trained detector.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.datasets import DATASET_NAMES, load
+from repro.experiments import render_table2, run_experiment
+from repro.models import ErrorDetector, ModelConfig, TrainingConfig
+from repro.models.serialization import load_detector, save_detector
+from repro.repair import (
+    FormatRepairer,
+    FrequentValueRepairer,
+    RepairPipeline,
+)
+from repro.table import Table, read_csv, write_csv
+
+
+def _add_training_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=("tsb", "etsb"), default="etsb",
+                        help="model architecture (default: etsb)")
+    parser.add_argument("--epochs", type=int, default=120,
+                        help="training epochs (default: 120, the paper's)")
+    parser.add_argument("--tuples", type=int, default=20,
+                        help="labelled tuples (default: 20)")
+    parser.add_argument("--cell", choices=("rnn", "lstm", "gru"),
+                        default="rnn", help="recurrence cell family")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _fit_detector(args) -> tuple[ErrorDetector, Table]:
+    dirty = read_csv(args.dirty)
+    detector = ErrorDetector(
+        architecture=args.arch,
+        n_label_tuples=args.tuples,
+        model_config=ModelConfig(cell_type=args.cell),
+        training_config=TrainingConfig(epochs=args.epochs),
+        seed=args.seed,
+    )
+    clean = read_csv(args.clean)
+    print(f"training {args.arch.upper()}-RNN on {dirty.n_rows} rows "
+          f"x {dirty.n_cols} columns ({args.epochs} epochs)...",
+          file=sys.stderr)
+    detector.fit_tables(dirty, clean)
+    result = detector.evaluate()
+    print(f"held-out metrics: {result.report}", file=sys.stderr)
+    return detector, dirty
+
+
+def _predicted_mask(detector: ErrorDetector, dirty: Table) -> np.ndarray:
+    positions = {a: j for j, a in enumerate(dirty.column_names)}
+    mask = np.zeros(dirty.shape, dtype=bool)
+    for tuple_id, attribute in detector.predict_table():
+        mask[tuple_id, positions[attribute]] = True
+    return mask
+
+
+def cmd_datasets(args) -> int:
+    rows = args.rows
+    pairs = [load(name, n_rows=rows, seed=args.seed)
+             for name in DATASET_NAMES]
+    _, text = render_table2(pairs)
+    print(text)
+    return 0
+
+
+def cmd_detect(args) -> int:
+    detector, dirty = _fit_detector(args)
+    if args.save:
+        save_detector(detector, args.save)
+        print(f"model saved to {args.save}", file=sys.stderr)
+    cells = detector.predict_table()
+    out = Table({
+        "row": [tid for tid, _ in cells],
+        "attribute": [attr for _, attr in cells],
+        "value": [dirty.column(attr)[tid] for tid, attr in cells],
+    })
+    if args.out:
+        write_csv(out, args.out)
+        print(f"{out.n_rows} suspicious cells written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(out.preview(min(out.n_rows, 50)))
+    return 0
+
+
+def cmd_repair(args) -> int:
+    detector, dirty = _fit_detector(args)
+    mask = _predicted_mask(detector, dirty)
+    pipeline = RepairPipeline([FormatRepairer(), FrequentValueRepairer()])
+    outcome = pipeline.run(dirty, mask)
+    print(f"flagged {int(mask.sum())} cells; repaired {outcome.n_applied}, "
+          f"left {len(outcome.unrepaired)} unrepaired", file=sys.stderr)
+    write_csv(outcome.repaired, args.out)
+    print(f"repaired table written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.models.serialization import encode_values_for, load_detector
+
+    detector = load_detector(args.model)
+    dirty = read_csv(args.dirty)
+    known = set(detector.prepared.attributes)
+    usable = [name for name in dirty.column_names if name in known]
+    skipped = [name for name in dirty.column_names if name not in known]
+    if skipped:
+        print(f"skipping columns the model never saw: {skipped}",
+              file=sys.stderr)
+    if not usable:
+        print("error: no column of this CSV matches the model's attributes",
+              file=sys.stderr)
+        return 1
+
+    rows, attrs, values = [], [], []
+    for name in usable:
+        for i, value in enumerate(dirty.column(name).values):
+            rows.append(i)
+            attrs.append(name)
+            values.append("" if value is None else str(value))
+    features = encode_values_for(detector, values, attrs)
+    predictions = detector.predict(features)
+    flagged = [(rows[i], attrs[i], values[i])
+               for i in range(len(rows)) if predictions[i] == 1]
+    out = Table({
+        "row": [r for r, _, __ in flagged],
+        "attribute": [a for _, a, __ in flagged],
+        "value": [v for _, __, v in flagged],
+    })
+    if args.out:
+        write_csv(out, args.out)
+        print(f"{out.n_rows} suspicious cells written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(out.preview(min(out.n_rows, 50)))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.experiments import (
+        attribute_breakdown,
+        hardest_attributes,
+        render_breakdown,
+    )
+    detector, dirty = _fit_detector(args)
+    result = detector.evaluate()
+    breakdowns = attribute_breakdown(result, detector.split.test.labels)
+    print(render_breakdown(breakdowns))
+    hardest = hardest_attributes(breakdowns)
+    if hardest:
+        print("\nhardest attributes (errors present, worst F1 first):")
+        for b in hardest[:5]:
+            print(f"  {b.attribute:<20} F1={b.report.f1:.2f} "
+                  f"({b.n_errors} errors / {b.n_cells} cells)")
+    return 0
+
+
+def cmd_benchmark(args) -> int:
+    pair = load(args.dataset, n_rows=args.rows, seed=args.seed)
+    print(f"{args.dataset}: {pair.dirty.shape}, "
+          f"error rate {pair.measured_error_rate():.2%}", file=sys.stderr)
+    result = run_experiment(
+        pair, architecture=args.arch, n_runs=args.runs,
+        n_label_tuples=args.tuples, epochs=args.epochs,
+        model_config=ModelConfig(cell_type=args.cell))
+    row = result.as_row()
+    print(f"P  = {row['P']:.3f} ± {row['P_sd']:.3f}")
+    print(f"R  = {row['R']:.3f} ± {row['R_sd']:.3f}")
+    print(f"F1 = {row['F1']:.3f} ± {row['F1_sd']:.3f}")
+    print(f"train time = {row['seconds']:.1f}s ± {row['seconds_sd']:.1f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error detection with bidirectional RNNs (EDBT 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets",
+                                help="show the Table 2 dataset overview")
+    p_datasets.add_argument("--rows", type=int, default=200,
+                            help="rows per generated dataset (default: 200)")
+    p_datasets.add_argument("--seed", type=int, default=0)
+    p_datasets.set_defaults(fn=cmd_datasets)
+
+    p_detect = sub.add_parser("detect", help="detect errors in a CSV pair")
+    p_detect.add_argument("--dirty", required=True, help="dirty CSV path")
+    p_detect.add_argument("--clean", required=True,
+                          help="clean CSV path (labels for sampled tuples)")
+    p_detect.add_argument("--out", help="write flagged cells to this CSV")
+    p_detect.add_argument("--save", help="save the fitted model (.npz)")
+    _add_training_flags(p_detect)
+    p_detect.set_defaults(fn=cmd_detect)
+
+    p_repair = sub.add_parser("repair",
+                              help="detect and repair errors in a CSV pair")
+    p_repair.add_argument("--dirty", required=True)
+    p_repair.add_argument("--clean", required=True)
+    p_repair.add_argument("--out", required=True,
+                          help="write the repaired table here")
+    _add_training_flags(p_repair)
+    p_repair.set_defaults(fn=cmd_repair)
+
+    p_predict = sub.add_parser(
+        "predict", help="flag cells of a CSV with a saved model (no training)")
+    p_predict.add_argument("--model", required=True,
+                           help="detector archive from 'detect --save'")
+    p_predict.add_argument("--dirty", required=True)
+    p_predict.add_argument("--out", help="write flagged cells to this CSV")
+    p_predict.set_defaults(fn=cmd_predict)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="per-attribute error analysis on a CSV pair")
+    p_analyze.add_argument("--dirty", required=True)
+    p_analyze.add_argument("--clean", required=True)
+    _add_training_flags(p_analyze)
+    p_analyze.set_defaults(fn=cmd_analyze)
+
+    p_bench = sub.add_parser("benchmark",
+                             help="run one benchmark dataset end to end")
+    p_bench.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_bench.add_argument("--rows", type=int, default=200)
+    p_bench.add_argument("--runs", type=int, default=2)
+    _add_training_flags(p_bench)
+    p_bench.set_defaults(fn=cmd_benchmark)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

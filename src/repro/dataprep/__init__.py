@@ -1,0 +1,34 @@
+"""The paper's data-preparation pipeline (Section 4.1, Figure 3).
+
+Transforms a (dirty, clean) pair of wide tables into the long-format cell
+table with labels, then encodes values and attribute metadata as padded
+integer sequences for the neural networks:
+
+1. **Structure transformation** -- strip leading whitespace, add the
+   ``id_`` row number, align the dirty table's column names to the clean
+   table's.
+2. **Merge** -- reshape both tables to long format (one row per cell) and
+   join on ``(id_, attribute)``, producing ``value_x`` (dirty),
+   ``value_y`` (clean), the binary ``label``, the ``empty`` flag, the
+   ``concat`` key used by DiverSet, and ``length_norm``.
+3. **Dictionary generation** -- build the character dictionary
+   (index 0 reserved for padding) and the attribute dictionary.
+4. **Encoding** -- convert each cell to a zero-padded index sequence plus
+   the attribute index and normalised length.
+"""
+
+from repro.dataprep.dictionaries import AttributeDictionary, CharDictionary
+from repro.dataprep.encoding import EncodedCells, encode_cells
+from repro.dataprep.pipeline import PreparedData, prepare
+from repro.dataprep.splits import TrainTestSplit, split_by_tuple_ids
+
+__all__ = [
+    "CharDictionary",
+    "AttributeDictionary",
+    "PreparedData",
+    "prepare",
+    "EncodedCells",
+    "encode_cells",
+    "TrainTestSplit",
+    "split_by_tuple_ids",
+]

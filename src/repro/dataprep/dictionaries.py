@@ -1,0 +1,160 @@
+"""Character and attribute dictionaries (Figure 3, step 4).
+
+The character dictionary assigns each distinct character of the dirty
+values an index from 1 upward; index 0 is the padding end-indicator used
+to right-pad short sequences.  The attribute dictionary indexes attribute
+names for the metadata input of ETSB-RNN.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+PAD_INDEX = 0
+
+
+class CharDictionary:
+    """Bidirectional character-to-index mapping with a reserved pad index.
+
+    Parameters
+    ----------
+    texts:
+        The corpus of cell values; every distinct character is indexed in
+        first-occurrence order, starting at 1 (0 is padding).
+    """
+
+    def __init__(self, texts: Iterable[str]):
+        index: dict[str, int] = {}
+        for text in texts:
+            for char in text:
+                if char not in index:
+                    index[char] = len(index) + 1
+        self._char_to_index = index
+        self._index_to_char = {i: c for c, i in index.items()}
+
+    @property
+    def n_chars(self) -> int:
+        """Number of distinct characters (excluding padding)."""
+        return len(self._char_to_index)
+
+    @property
+    def vocab_size(self) -> int:
+        """Embedding-table size: distinct characters + the pad slot."""
+        return len(self._char_to_index) + 1
+
+    def __contains__(self, char: str) -> bool:
+        return char in self._char_to_index
+
+    def index_of(self, char: str) -> int:
+        """Index of ``char``.
+
+        Raises
+        ------
+        EncodingError
+            For characters absent from the corpus the dictionary was
+            built on.
+        """
+        try:
+            return self._char_to_index[char]
+        except KeyError:
+            raise EncodingError(f"character {char!r} not in dictionary") from None
+
+    def char_of(self, index: int) -> str:
+        """Inverse lookup (pad index has no character)."""
+        try:
+            return self._index_to_char[index]
+        except KeyError:
+            raise EncodingError(f"index {index} not in dictionary") from None
+
+    def encode(self, text: str, length: int,
+               unknown: str = "error") -> np.ndarray:
+        """Encode ``text`` as a zero-padded index array of ``length``.
+
+        Parameters
+        ----------
+        text:
+            Value to encode; must be at most ``length`` characters.
+        length:
+            Output length; the tail is padded with :data:`PAD_INDEX`.
+        unknown:
+            ``"error"`` raises on out-of-dictionary characters;
+            ``"skip"`` drops them (used when scoring unseen data).
+        """
+        if unknown not in ("error", "skip"):
+            raise EncodingError(f"unknown must be 'error' or 'skip', got {unknown!r}")
+        if len(text) > length:
+            raise EncodingError(
+                f"value of length {len(text)} exceeds maximum {length}; "
+                "truncate during preparation first"
+            )
+        indices = []
+        for char in text:
+            if char in self._char_to_index:
+                indices.append(self._char_to_index[char])
+            elif unknown == "error":
+                raise EncodingError(f"character {char!r} not in dictionary")
+        out = np.zeros(length, dtype=np.int64)
+        out[:len(indices)] = indices
+        return out
+
+    def decode(self, indices: Iterable[int]) -> str:
+        """Map indices back to text, stopping at the first pad index."""
+        chars = []
+        for index in indices:
+            if index == PAD_INDEX:
+                break
+            chars.append(self.char_of(int(index)))
+        return "".join(chars)
+
+
+class AttributeDictionary:
+    """Attribute-name-to-index mapping for the ETSB-RNN metadata input.
+
+    Indices start at 1 so that index 0 can stay a neutral padding slot in
+    the attribute embedding, mirroring the character dictionary.
+    """
+
+    def __init__(self, attributes: Iterable[str]):
+        index: dict[str, int] = {}
+        for attribute in attributes:
+            if attribute not in index:
+                index[attribute] = len(index) + 1
+        if not index:
+            raise EncodingError("attribute dictionary requires at least one attribute")
+        self._attr_to_index = index
+        self._index_to_attr = {i: a for a, i in index.items()}
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes."""
+        return len(self._attr_to_index)
+
+    @property
+    def vocab_size(self) -> int:
+        """Embedding-table size: attributes + the pad slot."""
+        return len(self._attr_to_index) + 1
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._attr_to_index
+
+    def index_of(self, attribute: str) -> int:
+        """Index of ``attribute`` (raises for unknown names)."""
+        try:
+            return self._attr_to_index[attribute]
+        except KeyError:
+            raise EncodingError(f"attribute {attribute!r} not in dictionary") from None
+
+    def attribute_of(self, index: int) -> str:
+        """Inverse lookup."""
+        try:
+            return self._index_to_attr[index]
+        except KeyError:
+            raise EncodingError(f"index {index} not in dictionary") from None
+
+    def names(self) -> list[str]:
+        """Attribute names in index order."""
+        return [self._index_to_attr[i] for i in range(1, len(self._index_to_attr) + 1)]

@@ -1,0 +1,108 @@
+"""Step 4 of the pipeline: numeric encoding of the long-format cell table.
+
+Produces the arrays the models consume: padded character-index sequences
+(``values``), attribute indices (``attributes``) and normalised lengths
+(``length_norm``), plus labels and bookkeeping columns for mapping
+predictions back to cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataprep.pipeline import PreparedData
+from repro.errors import DataError
+from repro.table import Table
+
+_REQUIRED_COLUMNS = ("id_", "attribute", "value_x", "label", "length_norm")
+
+
+@dataclass(frozen=True)
+class EncodedCells:
+    """Model-ready arrays for a set of cells.
+
+    Attributes
+    ----------
+    features:
+        ``values`` -- ``(n, max_length)`` int64 padded index sequences;
+        ``attributes`` -- ``(n,)`` int64 attribute indices;
+        ``length_norm`` -- ``(n, 1)`` float ratios.
+    labels:
+        ``(n,)`` int64 cell labels (0 correct, 1 error).
+    tuple_ids:
+        ``(n,)`` int64 tuple id of each cell.
+    attribute_names:
+        Attribute name of each cell (parallel to rows).
+    """
+
+    features: dict[str, np.ndarray]
+    labels: np.ndarray
+    tuple_ids: np.ndarray
+    attribute_names: tuple[str, ...]
+
+    @property
+    def n_cells(self) -> int:
+        """Number of encoded cells."""
+        return int(self.labels.shape[0])
+
+    def subset(self, indices: np.ndarray) -> EncodedCells:
+        """Select a row subset (used for train/test splits)."""
+        return EncodedCells(
+            features={k: v[indices] for k, v in self.features.items()},
+            labels=self.labels[indices],
+            tuple_ids=self.tuple_ids[indices],
+            attribute_names=tuple(self.attribute_names[i] for i in indices),
+        )
+
+
+def encode_cells(prepared: PreparedData, df: Table | None = None,
+                 unknown: str = "error") -> EncodedCells:
+    """Encode (a subset of) the prepared cell table into model arrays.
+
+    Parameters
+    ----------
+    prepared:
+        Pipeline output carrying the dictionaries and sequence length.
+    df:
+        Long-format table to encode; defaults to ``prepared.df``.  Must
+        contain the pipeline's columns.
+    unknown:
+        Passed to the character dictionary: ``"error"`` (default) or
+        ``"skip"`` for out-of-dictionary characters.
+    """
+    table = prepared.df if df is None else df
+    for name in _REQUIRED_COLUMNS:
+        if name not in table:
+            raise DataError(f"encode_cells requires column {name!r}")
+    n = table.n_rows
+    values = np.zeros((n, prepared.max_length), dtype=np.int64)
+    attributes = np.zeros(n, dtype=np.int64)
+    length_norm = np.zeros((n, 1), dtype=np.float64)
+    labels = np.zeros(n, dtype=np.int64)
+    tuple_ids = np.zeros(n, dtype=np.int64)
+
+    value_col = table.column("value_x").values
+    attr_col = table.column("attribute").values
+    label_col = table.column("label").values
+    id_col = table.column("id_").values
+    ratio_col = table.column("length_norm").values
+    for i in range(n):
+        values[i] = prepared.char_index.encode(
+            value_col[i], prepared.max_length, unknown=unknown)
+        attributes[i] = prepared.attribute_index.index_of(attr_col[i])
+        length_norm[i, 0] = float(ratio_col[i])
+        labels[i] = int(label_col[i])
+        tuple_ids[i] = int(id_col[i])
+
+    return EncodedCells(
+        features={
+            "values": values,
+            "attributes": attributes,
+            "length_norm": length_norm,
+        },
+        labels=labels,
+        tuple_ids=tuple_ids,
+        attribute_names=tuple(attr_col),
+    )

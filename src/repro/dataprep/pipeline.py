@@ -1,0 +1,161 @@
+"""Steps 1-3 of the data-preparation pipeline (Figure 3).
+
+Builds the long-format cell table ``df`` with the columns the paper
+describes: ``id_``, ``attribute``, ``value_x`` (dirty), ``value_y``
+(clean), ``label``, ``empty``, ``concat`` and ``length_norm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataprep.dictionaries import AttributeDictionary, CharDictionary
+from repro.errors import DataError
+from repro.table import Table
+
+#: Values longer than this are cut off (Section 4.1, step 3: needed for
+#: hospital, movies and rayyan).
+MAX_VALUE_LENGTH = 128
+
+
+@dataclass(frozen=True)
+class PreparedData:
+    """Output of :func:`prepare`.
+
+    Attributes
+    ----------
+    df:
+        Long-format table with one row per cell and columns ``id_``,
+        ``attribute``, ``value_x``, ``value_y``, ``label``, ``empty``,
+        ``concat``, ``length_norm``.
+    attributes:
+        Attribute names in original column order.
+    char_index:
+        Character dictionary built over all ``value_x`` texts.
+    attribute_index:
+        Attribute dictionary for the metadata input.
+    max_length:
+        Longest (truncated) ``value_x`` in characters; the padded
+        sequence length used by the models.
+    """
+
+    df: Table
+    attributes: tuple[str, ...]
+    char_index: CharDictionary
+    attribute_index: AttributeDictionary
+    max_length: int
+
+    @property
+    def n_tuples(self) -> int:
+        """Number of distinct tuples (``id_`` values)."""
+        return len(self.df.column("id_").unique())
+
+    def tuple_ids(self) -> list[int]:
+        """Distinct tuple ids in first-occurrence order."""
+        return self.df.column("id_").unique()
+
+
+def _normalise_cell(value: object) -> str:
+    """Missing cells become the empty string; others are left-stripped text.
+
+    The paper removes *preceding* white spaces during structure
+    transformation (Figure 3, step 2).
+    """
+    if value is None:
+        return ""
+    return str(value).lstrip()
+
+
+def structure_transformation(dirty: Table, clean: Table) -> tuple[Table, Table]:
+    """Step 2: strip leading whitespace, add ``id_``, align column names.
+
+    The dirty table's columns are renamed positionally to the clean
+    table's names, exactly as the paper does to enable the merge.
+    """
+    if dirty.shape != clean.shape:
+        raise DataError(
+            f"dirty and clean tables must have the same shape, "
+            f"got {dirty.shape} vs {clean.shape}"
+        )
+    if "id_" in clean.column_names:
+        raise DataError("input tables must not already contain an 'id_' column")
+    rename = dict(zip(dirty.column_names, clean.column_names))
+    dirty = dirty.rename(rename)
+
+    def clean_up(table: Table) -> Table:
+        for name in table.column_names:
+            table = table.map_column(name, _normalise_cell)
+        return table.with_column("id_", range(table.n_rows))
+
+    return clean_up(dirty), clean_up(clean)
+
+
+def merge_to_long(dirty: Table, clean: Table,
+                  max_value_length: int = MAX_VALUE_LENGTH) -> Table:
+    """Step 3: reshape to long format, join, and derive the helper columns."""
+    attributes = [name for name in clean.column_names if name != "id_"]
+    dirty_long = dirty.melt(["id_"], attributes, var_name="attribute",
+                            value_name="value")
+    clean_long = clean.melt(["id_"], attributes, var_name="attribute",
+                            value_name="value")
+    df = dirty_long.merge(clean_long, on=["id_", "attribute"], how="inner")
+    if df.n_rows != dirty_long.n_rows:
+        raise DataError(
+            "merge produced a different number of cells than the dirty table; "
+            "duplicate (id_, attribute) pairs are not possible here"
+        )
+    df = df.map_column("value_x", lambda v: v[:max_value_length])
+    df = df.map_column("value_y", lambda v: v[:max_value_length])
+    df = df.with_computed(
+        "label", lambda row: 0 if row["value_x"] == row["value_y"] else 1)
+    df = df.with_computed("empty", lambda row: 1 if row["value_x"] == "" else 0)
+    df = df.with_computed(
+        "concat", lambda row: f"{row['attribute']}__{row['value_x']}")
+
+    # length_norm: length of value_x relative to the longest value of the
+    # same attribute (Figure 3, step 3).
+    max_by_attr: dict[str, int] = {}
+    for row in df.iter_rows():
+        attr = row["attribute"]
+        max_by_attr[attr] = max(max_by_attr.get(attr, 0), len(row["value_x"]))
+    df = df.with_computed(
+        "length_norm",
+        lambda row: (len(row["value_x"]) / max_by_attr[row["attribute"]]
+                     if max_by_attr[row["attribute"]] else 0.0),
+    )
+    return df
+
+
+def prepare(dirty: Table, clean: Table,
+            max_value_length: int = MAX_VALUE_LENGTH) -> PreparedData:
+    """Run the full preparation pipeline on a (dirty, clean) table pair.
+
+    Parameters
+    ----------
+    dirty, clean:
+        Wide tables of equal shape; the dirty table's columns are aligned
+        to the clean table's positionally.
+    max_value_length:
+        Truncation limit for cell values (the paper uses 128).
+
+    Returns
+    -------
+    PreparedData
+        The long-format cell table plus dictionaries and sequence length.
+    """
+    if max_value_length < 1:
+        raise DataError(f"max_value_length must be >= 1, got {max_value_length}")
+    dirty_t, clean_t = structure_transformation(dirty, clean)
+    df = merge_to_long(dirty_t, clean_t, max_value_length=max_value_length)
+    attributes = tuple(name for name in clean.column_names)
+    values = df.column("value_x").values
+    char_index = CharDictionary(values)
+    attribute_index = AttributeDictionary(attributes)
+    max_length = max((len(v) for v in values), default=1)
+    return PreparedData(
+        df=df,
+        attributes=attributes,
+        char_index=char_index,
+        attribute_index=attribute_index,
+        max_length=max(max_length, 1),
+    )

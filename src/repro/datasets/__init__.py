@@ -1,0 +1,38 @@
+"""The six benchmark datasets as deterministic synthetic generators.
+
+The paper evaluates on Beers, Flights, Hospital, Movies, Rayyan and Tax
+(Table 2) -- public datasets that are not available in this offline
+environment.  Each generator here reproduces its dataset's schema,
+row/column counts, character inventory, error-type mix (MV, T, FI, VAD)
+and error rate, so the models exercise the identical code path.
+
+Every dataset is a :class:`DatasetPair` (dirty + clean wide tables plus
+the injected-error ledger).  Generators are deterministic in their seed.
+"""
+
+from repro.datasets.base import DatasetPair, DatasetStats
+from repro.datasets.errors import (
+    CellError,
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+)
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_spec,
+    load,
+    load_pair_from_csv,
+)
+
+__all__ = [
+    "DatasetPair",
+    "DatasetStats",
+    "ErrorType",
+    "CellError",
+    "ColumnErrorSpec",
+    "ErrorInjector",
+    "DATASET_NAMES",
+    "dataset_spec",
+    "load",
+    "load_pair_from_csv",
+]

@@ -1,0 +1,98 @@
+"""The Beers dataset (Table 2: 2,410 x 11, error rate 0.16, MV/FI/VAD).
+
+Craft-beer records: style, bitterness (IBU), alcohol by volume (ABV),
+ounces, brewery and location.  Injected errors follow the paper's
+Section 5.1 description: formatting issues in ``ounces`` (``'12.0 oz'``)
+and ``abv`` (``'0.061%'``), city/state dependency violations and missing
+states (``'NaN'``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocab
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import (
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    format_add_suffix,
+    make_dependency_violation,
+    make_missing,
+)
+from repro.table import Table
+
+DEFAULT_ROWS = 2410
+ERROR_RATE = 0.16
+ERROR_TYPES = ("MV", "FI", "VAD")
+
+_COLUMNS = ["index", "id", "beer_name", "style", "ounces", "abv", "ibu",
+            "brewery_id", "brewery_name", "city", "state"]
+
+
+def _clean_table(n_rows: int, rng: np.random.Generator) -> Table:
+    n_breweries = max(n_rows // 12, 2)
+    breweries = []
+    for i in range(n_breweries):
+        word = vocab.pick(rng, vocab.BREWERY_WORDS)
+        suffix = vocab.pick(rng, vocab.BREWERY_SUFFIXES)
+        city, state = vocab.CITY_STATE[int(rng.integers(len(vocab.CITY_STATE)))]
+        breweries.append((f"{word} {suffix}", city, state))
+
+    rows = []
+    for i in range(n_rows):
+        brewery_id = int(rng.integers(n_breweries))
+        name, city, state = breweries[brewery_id]
+        style = vocab.pick(rng, vocab.BEER_STYLES)
+        adjective = vocab.pick(rng, vocab.MOVIE_WORDS)
+        noun = vocab.pick(rng, vocab.MOVIE_NOUNS)
+        rows.append({
+            "index": str(i),
+            "id": str(1000 + i),
+            "beer_name": f"{adjective} {noun} {style.split()[-1]}",
+            "style": style,
+            "ounces": vocab.pick(rng, ["12.0", "16.0", "8.4", "19.2", "24.0"]),
+            "abv": f"0.{rng.integers(30, 99):03d}",
+            "ibu": str(int(rng.integers(5, 120))),
+            "brewery_id": str(brewery_id),
+            "brewery_name": name,
+            "city": city,
+            "state": state,
+        })
+    return Table.from_rows(rows, column_names=_COLUMNS)
+
+
+def generate(n_rows: int = DEFAULT_ROWS, seed: int = 0,
+             error_rate: float = ERROR_RATE) -> DatasetPair:
+    """Generate the synthetic Beers pair.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of tuples (the paper's dataset has 2,410).
+    seed:
+        Seed for the deterministic generator.
+    error_rate:
+        Target fraction of corrupted cells.
+    """
+    rng = np.random.default_rng(seed)
+    clean = _clean_table(n_rows, rng)
+    injector = ErrorInjector([
+        ColumnErrorSpec("ounces", format_add_suffix(" oz"),
+                        ErrorType.FORMATTING_ISSUE, weight=3.0),
+        ColumnErrorSpec("abv", format_add_suffix("%"),
+                        ErrorType.FORMATTING_ISSUE, weight=3.0),
+        ColumnErrorSpec("state", make_missing("NaN"),
+                        ErrorType.MISSING_VALUE, weight=2.0),
+        ColumnErrorSpec("ibu", make_missing("NaN"),
+                        ErrorType.MISSING_VALUE, weight=2.0),
+        ColumnErrorSpec("state", make_dependency_violation(vocab.STATES),
+                        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=2.0),
+        ColumnErrorSpec("city",
+                        make_dependency_violation([c for c, _ in vocab.CITY_STATE]),
+                        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=2.0),
+    ])
+    dirty, ledger = injector.inject(clean, error_rate, rng)
+    return DatasetPair(name="beers", dirty=dirty, clean=clean,
+                       errors=ledger, error_types=ERROR_TYPES)

@@ -1,0 +1,273 @@
+"""The error-injection framework.
+
+Dirty datasets are produced by corrupting a synthetic clean table with the
+paper's four error types (Table 2):
+
+* **MV** missing values -- the cell becomes an explicit marker
+  (``'NaN'``) or the empty string;
+* **T** typos -- character-level edits (substitution, the Hospital
+  dataset's ``'x'`` marking, deletion, transposition);
+* **FI** formatting issues -- unit suffixes, thousands separators,
+  stripped leading zeros, date/number reformatting;
+* **VAD** violated attribute dependencies -- a dependent attribute's
+  value is replaced with one that belongs to a *different* determinant
+  group (e.g. a city paired with the wrong state).
+
+An :class:`ErrorInjector` owns a list of :class:`ColumnErrorSpec` and
+corrupts a target fraction of all cells, distributing errors over the
+specs proportionally to their weights.  Every change is recorded as a
+:class:`CellError` so tests can audit exactly what was injected.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.table import Table
+
+
+class ErrorType(enum.Enum):
+    """The paper's four error categories."""
+
+    MISSING_VALUE = "MV"
+    TYPO = "T"
+    FORMATTING_ISSUE = "FI"
+    VIOLATED_ATTRIBUTE_DEPENDENCY = "VAD"
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Ledger entry for one injected error."""
+
+    row: int
+    attribute: str
+    original: str
+    corrupted: str
+    error_type: ErrorType
+
+
+#: A corruptor maps (clean value, full clean row, rng) to a dirty value.
+Corruptor = Callable[[str, dict, np.random.Generator], str]
+
+
+@dataclass(frozen=True)
+class ColumnErrorSpec:
+    """How one column gets corrupted.
+
+    Attributes
+    ----------
+    column:
+        Target column name.
+    corruptor:
+        The corruption function.
+    error_type:
+        Category recorded in the ledger.
+    weight:
+        Relative share of the total error budget this spec receives.
+    """
+
+    column: str
+    corruptor: Corruptor
+    error_type: ErrorType
+    weight: float = 1.0
+
+
+class ErrorInjector:
+    """Corrupt a clean table according to a list of column specs.
+
+    Parameters
+    ----------
+    specs:
+        Column error specifications; several specs may target the same
+        column (e.g. a column with both typos and missing values).
+    """
+
+    def __init__(self, specs: Sequence[ColumnErrorSpec]):
+        if not specs:
+            raise DataError("ErrorInjector requires at least one spec")
+        total = sum(spec.weight for spec in specs)
+        if total <= 0:
+            raise DataError("spec weights must sum to a positive value")
+        self.specs = list(specs)
+        self._total_weight = total
+
+    def inject(self, clean: Table, error_rate: float,
+               rng: np.random.Generator) -> tuple[Table, tuple[CellError, ...]]:
+        """Produce a dirty copy of ``clean`` with ~``error_rate`` bad cells.
+
+        The error budget is ``round(error_rate * n_cells)``, split over
+        the specs by weight.  Target cells are sampled without
+        replacement per column; a corruption that leaves the value
+        unchanged is retried a few times and then skipped, so the
+        *measured* rate can fall slightly below the target but a cell is
+        never double-counted.
+        """
+        if not 0.0 <= error_rate < 1.0:
+            raise DataError(f"error_rate must be in [0, 1), got {error_rate}")
+        for spec in self.specs:
+            if spec.column not in clean:
+                raise DataError(f"spec targets unknown column {spec.column!r}")
+
+        n_cells = clean.n_rows * clean.n_cols
+        budget = int(round(error_rate * n_cells))
+        columns = {name: list(clean.column(name).values)
+                   for name in clean.column_names}
+        rows = clean.to_rows()
+        corrupted_cells: set[tuple[int, str]] = set()
+        ledger: list[CellError] = []
+
+        for spec_index, spec in enumerate(self.specs):
+            remaining_weight = sum(s.weight for s in self.specs[spec_index:])
+            remaining_budget = budget - len(ledger)
+            share = int(round(remaining_budget * spec.weight / remaining_weight))
+            share = min(share, remaining_budget)
+            candidates = [
+                i for i in range(clean.n_rows)
+                if (i, spec.column) not in corrupted_cells
+            ]
+            rng.shuffle(candidates)
+            applied = 0
+            for row in candidates:
+                if applied >= share:
+                    break
+                original = "" if columns[spec.column][row] is None \
+                    else str(columns[spec.column][row])
+                corrupted = original
+                for _ in range(4):  # retry no-op corruptions a few times
+                    corrupted = spec.corruptor(original, rows[row], rng)
+                    if corrupted != original:
+                        break
+                if corrupted == original:
+                    continue
+                columns[spec.column][row] = corrupted
+                corrupted_cells.add((row, spec.column))
+                ledger.append(CellError(
+                    row=row, attribute=spec.column, original=original,
+                    corrupted=corrupted, error_type=spec.error_type,
+                ))
+                applied += 1
+
+        return Table(columns), tuple(ledger)
+
+
+# -- corruptor factories -------------------------------------------------------
+
+def make_missing(marker: str = "NaN") -> Corruptor:
+    """MV: replace the value with an explicit missing marker."""
+    def corrupt(value: str, row: dict, rng: np.random.Generator) -> str:
+        return marker
+    return corrupt
+
+
+def typo_mark_x(value: str, row: dict, rng: np.random.Generator) -> str:
+    """T: the Hospital dataset's error style -- one letter becomes 'x'."""
+    letters = [i for i, c in enumerate(value) if c.isalpha() and c.lower() != "x"]
+    if not letters:
+        return value
+    i = letters[int(rng.integers(len(letters)))]
+    replacement = "x" if value[i].islower() else "X"
+    return value[:i] + replacement + value[i + 1:]
+
+
+def typo_substitute(value: str, row: dict, rng: np.random.Generator) -> str:
+    """T: substitute one character with a random letter."""
+    if not value:
+        return value
+    i = int(rng.integers(len(value)))
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    replacement = alphabet[int(rng.integers(len(alphabet)))]
+    if value[i].isupper():
+        replacement = replacement.upper()
+    if replacement == value[i]:
+        replacement = "q" if value[i] != "q" else "z"
+    return value[:i] + replacement + value[i + 1:]
+
+
+def typo_insert_quote(value: str, row: dict, rng: np.random.Generator) -> str:
+    """T: double a quote or insert stray punctuation (Tax's ``Jun"ichi``)."""
+    if not value:
+        return value
+    i = int(rng.integers(len(value) + 1))
+    mark = '"' if "'" in value else "-*"
+    return value[:i] + mark + value[i:]
+
+
+def format_add_suffix(suffix: str) -> Corruptor:
+    """FI: append a unit suffix (``'12.0'`` -> ``'12.0 oz'``)."""
+    def corrupt(value: str, row: dict, rng: np.random.Generator) -> str:
+        return value + suffix if value else value
+    return corrupt
+
+
+def format_strip_leading_zeros(value: str, row: dict,
+                               rng: np.random.Generator) -> str:
+    """FI: drop leading zeros (``'01907'`` -> ``'1907'``)."""
+    stripped = value.lstrip("0")
+    return stripped if stripped else value
+
+
+def format_thousands_separator(value: str, row: dict,
+                               rng: np.random.Generator) -> str:
+    """FI: insert thousands separators (``'379998'`` -> ``'379,998'``)."""
+    if not value.isdigit() or len(value) <= 3:
+        return value
+    out = []
+    for offset, char in enumerate(reversed(value)):
+        if offset and offset % 3 == 0:
+            out.append(",")
+        out.append(char)
+    return "".join(reversed(out))
+
+
+def format_decimal_suffix(value: str, row: dict,
+                          rng: np.random.Generator) -> str:
+    """FI: turn an integer into a float rendering (``'8'`` -> ``'8.0'``)."""
+    return value + ".0" if value.isdigit() else value
+
+
+def format_date_prefix(prefix: str = "12/02/2011 ") -> Corruptor:
+    """FI: prepend a date to a time (``'6:55 a.m.'`` -> with date)."""
+    def corrupt(value: str, row: dict, rng: np.random.Generator) -> str:
+        return prefix + value if value else value
+    return corrupt
+
+
+def make_dependency_violation(dependent_domain: Sequence[str]) -> Corruptor:
+    """VAD: replace the value with a different member of its domain.
+
+    Breaking, e.g., the city->state dependency is done by assigning a
+    state that belongs to some *other* city; drawing a different value
+    from the column's own domain achieves exactly that.
+    """
+    domain = [str(v) for v in dependent_domain]
+    if len(domain) < 2:
+        raise DataError("dependency violation needs a domain of >= 2 values")
+
+    def corrupt(value: str, row: dict, rng: np.random.Generator) -> str:
+        for _ in range(8):
+            candidate = domain[int(rng.integers(len(domain)))]
+            if candidate != value:
+                return candidate
+        return value
+    return corrupt
+
+
+def time_shift(value: str, row: dict, rng: np.random.Generator) -> str:
+    """VAD (Flights): shift a ``'H:MM a.m.'`` time by a few minutes."""
+    import re
+    match = re.match(r"^(\d{1,2}):(\d{2}) (a\.m\.|p\.m\.)$", value)
+    if not match:
+        return value
+    hour, minute, half = int(match.group(1)), int(match.group(2)), match.group(3)
+    delta = int(rng.integers(1, 45))
+    if rng.integers(2):
+        delta = -delta
+    total = (hour % 12) * 60 + minute + delta
+    total %= 12 * 60
+    new_hour = total // 60 or 12
+    return f"{new_hour}:{total % 60:02d} {half}"

@@ -1,0 +1,100 @@
+"""The Hospital dataset (Table 2: 1,000 x 20, error rate 0.03, T/VAD).
+
+Hospital/measure records with the benchmark's signature error style:
+typos where one letter is replaced by ``'x'`` (``'Birmingxam'``), which
+the paper notes are easy for character models to spot (both TSB-RNN and
+ETSB-RNN reach F1 0.97).  Attribute-dependency violations break the
+hospital -> city/state/zip dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocab
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import (
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    make_dependency_violation,
+    typo_mark_x,
+)
+from repro.table import Table
+
+DEFAULT_ROWS = 1000
+ERROR_RATE = 0.03
+ERROR_TYPES = ("T", "VAD")
+
+_COLUMNS = [
+    "provider_number", "hospital_name", "address_1", "address_2",
+    "address_3", "city", "state", "zip_code", "county_name",
+    "phone_number", "hospital_type", "hospital_owner",
+    "emergency_service", "condition", "measure_code", "measure_name",
+    "sample", "score", "stateavg", "index",
+]
+
+
+def _clean_table(n_rows: int, rng: np.random.Generator) -> Table:
+    n_hospitals = max(n_rows // 20, 2)
+    hospitals = []
+    for i in range(n_hospitals):
+        city, state = vocab.CITY_STATE[int(rng.integers(len(vocab.CITY_STATE)))]
+        hospitals.append({
+            "provider_number": str(10000 + i),
+            "hospital_name": f"{city} {vocab.pick(rng, ['regional medical center', 'memorial hospital', 'community hospital', 'general hospital'])}",
+            "address_1": f"{rng.integers(100, 9999)} {vocab.pick(rng, ['main street', 'oak avenue', 'hospital drive', 'church road'])}",
+            "address_2": "",
+            "address_3": "",
+            "city": city.lower(),
+            "state": state.lower(),
+            "zip_code": vocab.zip_code(rng),
+            "county_name": city.lower(),
+            "phone_number": vocab.phone_number(rng),
+            "hospital_type": "acute care hospitals",
+            "hospital_owner": str(vocab.pick(rng, vocab.HOSPITAL_OWNERS)).lower(),
+            "emergency_service": "yes" if rng.integers(2) else "no",
+        })
+
+    rows = []
+    for i in range(n_rows):
+        hospital = hospitals[int(rng.integers(n_hospitals))]
+        code, measure = vocab.HOSPITAL_MEASURES[
+            int(rng.integers(len(vocab.HOSPITAL_MEASURES)))]
+        condition = str(vocab.pick(rng, vocab.HOSPITAL_CONDITIONS)).lower()
+        rows.append({
+            **hospital,
+            "condition": condition,
+            "measure_code": code.lower(),
+            "measure_name": measure,
+            "sample": f"{rng.integers(10, 500)} patients",
+            "score": f"{rng.integers(40, 100)}%",
+            "stateavg": f"{hospital['state']}_{code.lower()}",
+            "index": str(i),
+        })
+    return Table.from_rows(rows, column_names=_COLUMNS)
+
+
+def generate(n_rows: int = DEFAULT_ROWS, seed: int = 0,
+             error_rate: float = ERROR_RATE) -> DatasetPair:
+    """Generate the synthetic Hospital pair (see module docstring)."""
+    rng = np.random.default_rng(seed)
+    clean = _clean_table(n_rows, rng)
+    typo_columns = ["hospital_name", "address_1", "city", "county_name",
+                    "hospital_owner", "condition", "measure_name",
+                    "hospital_type"]
+    specs = [
+        ColumnErrorSpec(column, typo_mark_x, ErrorType.TYPO, weight=2.0)
+        for column in typo_columns
+    ]
+    specs.append(ColumnErrorSpec(
+        "state", make_dependency_violation([s.lower() for s in vocab.STATES]),
+        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=1.0))
+    specs.append(ColumnErrorSpec(
+        "zip_code", make_dependency_violation(
+            [vocab.zip_code(np.random.default_rng(s)) for s in range(12)]),
+        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=1.0))
+    injector = ErrorInjector(specs)
+    dirty, ledger = injector.inject(clean, error_rate, rng)
+    return DatasetPair(name="hospital", dirty=dirty, clean=clean,
+                       errors=ledger, error_types=ERROR_TYPES)

@@ -1,0 +1,123 @@
+"""The Movies dataset (Table 2: 7,390 x 17, error rate 0.06, MV/FI).
+
+Movie metadata with the richest character inventory of the benchmark
+(135 distinct characters).  Injected errors follow Section 5.1:
+formatting issues (``'379,998'`` vs ``'379998.0'``, ``'8.0'`` vs ``'8'``,
+``'&'`` vs ``'and'``), missing durations (``'NaN'``) and dropped creator
+name parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocab
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import (
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    format_decimal_suffix,
+    format_thousands_separator,
+    make_missing,
+)
+from repro.table import Table
+
+DEFAULT_ROWS = 7390
+ERROR_RATE = 0.06
+ERROR_TYPES = ("MV", "FI")
+
+_COLUMNS = [
+    "id", "name", "year", "release_date", "director", "creator", "actors",
+    "cast", "language", "country", "duration", "rating_value",
+    "rating_count", "review_count", "genre", "filming_locations",
+    "description",
+]
+
+_MONTHS = ["January", "February", "March", "April", "May", "June", "July",
+           "August", "September", "October", "November", "December"]
+
+
+def _title(rng: np.random.Generator) -> str:
+    word = vocab.pick(rng, vocab.MOVIE_WORDS)
+    noun = vocab.pick(rng, vocab.MOVIE_NOUNS)
+    if rng.integers(5) == 0:
+        other = vocab.pick(rng, vocab.MOVIE_NOUNS)
+        return f"{word} & {other}"
+    return f"{word} {noun}"
+
+
+def _person(rng: np.random.Generator) -> str:
+    first, last = vocab.person_name(rng)
+    return f"{first} {last}"
+
+
+def _clean_table(n_rows: int, rng: np.random.Generator) -> Table:
+    rows = []
+    for i in range(n_rows):
+        year = int(rng.integers(1960, 2021))
+        month = vocab.pick(rng, _MONTHS)
+        day = int(rng.integers(1, 29))
+        director = _person(rng)
+        creator = f"{_person(rng)}, {_person(rng)}" if rng.integers(2) else _person(rng)
+        actors = ", ".join(_person(rng) for _ in range(3))
+        city, _ = vocab.CITY_STATE[int(rng.integers(len(vocab.CITY_STATE)))]
+        country = vocab.pick(rng, vocab.COUNTRIES)
+        rows.append({
+            "id": f"tt{rng.integers(100000, 999999)}",
+            "name": _title(rng),
+            "year": str(year),
+            "release_date": f"{day} {month} {year} (USA)",
+            "director": director,
+            "creator": creator,
+            "actors": actors,
+            "cast": actors,
+            "language": vocab.pick(rng, vocab.LANGUAGES),
+            "country": country,
+            "duration": f"{rng.integers(70, 200)} min",
+            "rating_value": str(round(float(rng.uniform(3.0, 9.5)), 1)),
+            "rating_count": str(int(rng.integers(100, 900000))),
+            "review_count": f"{rng.integers(2, 900)} user",
+            "genre": vocab.pick(rng, vocab.MOVIE_GENRES),
+            "filming_locations": f"{city}, {country}",
+            "description": (f"A {str(vocab.pick(rng, vocab.MOVIE_WORDS)).lower()} tale "
+                            f"of {str(vocab.pick(rng, vocab.MOVIE_NOUNS)).lower()} "
+                            f"and {str(vocab.pick(rng, vocab.MOVIE_NOUNS)).lower()}."),
+        })
+    return Table.from_rows(rows, column_names=_COLUMNS)
+
+
+def _drop_first_creator(value: str, row: dict, rng: np.random.Generator) -> str:
+    """MV-style truncation: 'Choderlos de Laclos, Roger Kumble' -> last name."""
+    if ", " in value:
+        return value.split(", ")[-1]
+    return value
+
+
+def _ampersand_to_and(value: str, row: dict, rng: np.random.Generator) -> str:
+    """FI: 'Frankie & Johnny' -> 'Frankie and Johnny'."""
+    return value.replace(" & ", " and ")
+
+
+def generate(n_rows: int = DEFAULT_ROWS, seed: int = 0,
+             error_rate: float = ERROR_RATE) -> DatasetPair:
+    """Generate the synthetic Movies pair (see module docstring)."""
+    rng = np.random.default_rng(seed)
+    clean = _clean_table(n_rows, rng)
+    injector = ErrorInjector([
+        ColumnErrorSpec("rating_count", format_thousands_separator,
+                        ErrorType.FORMATTING_ISSUE, weight=3.0),
+        ColumnErrorSpec("rating_value", format_decimal_suffix,
+                        ErrorType.FORMATTING_ISSUE, weight=2.0),
+        ColumnErrorSpec("name", _ampersand_to_and,
+                        ErrorType.FORMATTING_ISSUE, weight=1.0),
+        ColumnErrorSpec("duration", make_missing("NaN"),
+                        ErrorType.MISSING_VALUE, weight=3.0),
+        ColumnErrorSpec("creator", _drop_first_creator,
+                        ErrorType.MISSING_VALUE, weight=2.0),
+        ColumnErrorSpec("filming_locations", make_missing("NaN"),
+                        ErrorType.MISSING_VALUE, weight=1.0),
+    ])
+    dirty, ledger = injector.inject(clean, error_rate, rng)
+    return DatasetPair(name="movies", dirty=dirty, clean=clean,
+                       errors=ledger, error_types=ERROR_TYPES)

@@ -1,0 +1,108 @@
+"""The Rayyan dataset (Table 2: 1,000 x 10, error rate 0.09, MV/T/FI/VAD).
+
+Bibliographic records of scientific articles.  Injected errors follow
+Section 5.1: day-month flips in ``journal_issn``-style fields
+(``'Mar-22'`` vs ``'22-Mar'``), page-range corruption in
+``article_pagination`` (``'70-6'``), missing ``article_jissue`` values
+and typos in titles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocab
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import (
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    make_dependency_violation,
+    make_missing,
+    typo_substitute,
+)
+from repro.table import Table
+
+DEFAULT_ROWS = 1000
+ERROR_RATE = 0.09
+ERROR_TYPES = ("MV", "T", "FI", "VAD")
+
+_COLUMNS = [
+    "id", "article_title", "article_language", "journal_title",
+    "journal_abbreviation", "journal_issn", "article_jvolume",
+    "article_jissue", "article_pagination", "author_list",
+]
+
+_MONTH_ABBR = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug",
+               "Sep", "Oct", "Nov", "Dec"]
+
+
+def _clean_table(n_rows: int, rng: np.random.Generator) -> Table:
+    rows = []
+    for i in range(n_rows):
+        journal, abbreviation, issn = vocab.JOURNALS[
+            int(rng.integers(len(vocab.JOURNALS)))]
+        topic = vocab.pick(rng, vocab.RESEARCH_TOPICS)
+        disease = vocab.pick(rng, ["breast cancer", "type 2 diabetes",
+                                   "hypertension", "asthma", "depression",
+                                   "stroke", "malaria", "obesity"])
+        first_page = int(rng.integers(1, 900))
+        authors = "; ".join(
+            f"{last} {first[0]}." for first, last in
+            (vocab.person_name(rng) for _ in range(int(rng.integers(1, 5))))
+        )
+        rows.append({
+            "id": str(i),
+            "article_title": f"{str(topic).capitalize()} in {disease}.",
+            "article_language": vocab.pick(rng, ["eng", "fre", "ger", "spa"]),
+            "journal_title": journal,
+            "journal_abbreviation": abbreviation,
+            "journal_issn": issn,
+            "article_jvolume": str(int(rng.integers(1, 80))),
+            "article_jissue": str(int(rng.integers(1, 13))),
+            "article_pagination": f"{first_page}-{first_page + int(rng.integers(4, 20))}",
+            "author_list": authors,
+        })
+    return Table.from_rows(rows, column_names=_COLUMNS)
+
+
+def _month_flip(value: str, row: dict, rng: np.random.Generator) -> str:
+    """FI: spreadsheet-style day-month mangling ('22-Mar' for '0022')."""
+    month = _MONTH_ABBR[int(rng.integers(len(_MONTH_ABBR)))]
+    day = int(rng.integers(1, 29))
+    return f"{month}-{day}" if rng.integers(2) else f"{day}-{month}"
+
+
+def _truncate_pagination(value: str, row: dict,
+                         rng: np.random.Generator) -> str:
+    """FI: '170-176' -> '170-6' (last-page shorthand corruption)."""
+    if "-" not in value:
+        return value
+    first, last = value.split("-", 1)
+    return f"{first}-{last[-1]}" if len(last) > 1 else value
+
+
+def generate(n_rows: int = DEFAULT_ROWS, seed: int = 0,
+             error_rate: float = ERROR_RATE) -> DatasetPair:
+    """Generate the synthetic Rayyan pair (see module docstring)."""
+    rng = np.random.default_rng(seed)
+    clean = _clean_table(n_rows, rng)
+    injector = ErrorInjector([
+        ColumnErrorSpec("journal_issn", _month_flip,
+                        ErrorType.FORMATTING_ISSUE, weight=3.0),
+        ColumnErrorSpec("article_pagination", _truncate_pagination,
+                        ErrorType.FORMATTING_ISSUE, weight=3.0),
+        ColumnErrorSpec("article_jissue", make_missing(""),
+                        ErrorType.MISSING_VALUE, weight=2.0),
+        ColumnErrorSpec("article_title", typo_substitute,
+                        ErrorType.TYPO, weight=2.0),
+        ColumnErrorSpec("journal_title", typo_substitute,
+                        ErrorType.TYPO, weight=1.0),
+        ColumnErrorSpec("journal_abbreviation",
+                        make_dependency_violation(
+                            [abbr for _, abbr, _ in vocab.JOURNALS]),
+                        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=1.0),
+    ])
+    dirty, ledger = injector.inject(clean, error_rate, rng)
+    return DatasetPair(name="rayyan", dirty=dirty, clean=clean,
+                       errors=ledger, error_types=ERROR_TYPES)

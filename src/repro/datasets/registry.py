@@ -1,0 +1,110 @@
+"""Dataset registry: name-based loading with paper-scale defaults.
+
+``load("beers")`` returns the paper-sized synthetic pair; pass
+``n_rows`` for scaled-down experiments.  ``REPRO_FULL=1`` in the
+environment makes the *benchmarks* use the paper sizes; the registry
+itself always honours explicit arguments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.datasets import beers, flights, hospital, movies, rayyan, tax
+from repro.datasets.base import DatasetPair
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class DatasetSpecEntry:
+    """Registry entry: generator plus the paper's Table 2 facts."""
+
+    name: str
+    generate: Callable[..., DatasetPair]
+    paper_rows: int
+    paper_attributes: int
+    paper_error_rate: float
+    paper_distinct_characters: int
+    error_types: tuple[str, ...]
+
+
+_REGISTRY: dict[str, DatasetSpecEntry] = {
+    "beers": DatasetSpecEntry(
+        "beers", beers.generate, 2410, 11, 0.16, 86, ("MV", "FI", "VAD")),
+    "flights": DatasetSpecEntry(
+        "flights", flights.generate, 2376, 7, 0.30, 70, ("MV", "FI", "VAD")),
+    "hospital": DatasetSpecEntry(
+        "hospital", hospital.generate, 1000, 20, 0.03, 46, ("T", "VAD")),
+    "movies": DatasetSpecEntry(
+        "movies", movies.generate, 7390, 17, 0.06, 135, ("MV", "FI")),
+    "rayyan": DatasetSpecEntry(
+        "rayyan", rayyan.generate, 1000, 10, 0.09, 101, ("MV", "T", "FI", "VAD")),
+    "tax": DatasetSpecEntry(
+        "tax", tax.generate, 200_000, 15, 0.04, 69, ("T", "FI", "VAD")),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def dataset_spec(name: str) -> DatasetSpecEntry:
+    """Look up a registry entry by dataset name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DataError(
+            f"unknown dataset {name!r}; available: {list(DATASET_NAMES)}"
+        ) from None
+
+
+def load(name: str, n_rows: int | None = None, seed: int = 0,
+         error_rate: float | None = None) -> DatasetPair:
+    """Generate a benchmark dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    n_rows:
+        Override the paper's row count (``None`` keeps it).
+    seed:
+        Generator seed; different seeds give different corruption draws
+        over the same schema.
+    error_rate:
+        Override the paper's cell error rate (``None`` keeps it).
+    """
+    entry = dataset_spec(name)
+    kwargs: dict = {"seed": seed}
+    if n_rows is not None:
+        if n_rows < 2:
+            raise DataError(f"n_rows must be >= 2, got {n_rows}")
+        kwargs["n_rows"] = n_rows
+    if error_rate is not None:
+        kwargs["error_rate"] = error_rate
+    return entry.generate(**kwargs)
+
+
+def load_pair_from_csv(dirty_path, clean_path, name: str = "custom",
+                       error_types: tuple[str, ...] = ()) -> DatasetPair:
+    """Build a :class:`DatasetPair` from real dirty/clean CSV files.
+
+    For users who have the original benchmark CSVs (or their own data):
+    the pair plugs into the same :class:`~repro.models.ErrorDetector`
+    and experiment harness as the synthetic generators.  No injection
+    ledger exists, so ledger-based analyses
+    (:func:`repro.experiments.error_type_recall`) are unavailable.
+    """
+    from repro.table import read_csv
+
+    dirty = read_csv(dirty_path)
+    clean = read_csv(clean_path)
+    if dirty.column_names != clean.column_names:
+        # Align positionally, as the preparation pipeline does.
+        if dirty.n_cols != clean.n_cols:
+            raise DataError(
+                f"column count mismatch: dirty has {dirty.n_cols}, "
+                f"clean has {clean.n_cols}"
+            )
+        dirty = dirty.rename(dict(zip(dirty.column_names, clean.column_names)))
+    return DatasetPair(name=name, dirty=dirty, clean=clean,
+                       error_types=error_types)

@@ -1,0 +1,95 @@
+"""The Tax dataset (Table 2: 200,000 x 15, error rate 0.04, T/FI/VAD).
+
+Personal tax records -- by far the largest dataset of the benchmark.
+Injected errors follow Section 5.1: typos in ``f_name``
+(``Jun"ichi``) and ``city`` (``'ARCHIE-*'``), formatting issues in
+``zip`` (stripped leading zero) and ``rate`` (``'7.0'`` vs ``'7'``), and
+attribute-dependency violations between state/city and
+marital_status/has_child.
+
+The paper-scale row count makes pure-Python preparation slow; use the
+``n_rows`` parameter for scaled-down experiments (the registry and the
+benchmarks default to a reduced size unless ``REPRO_FULL=1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocab
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import (
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    format_decimal_suffix,
+    format_strip_leading_zeros,
+    make_dependency_violation,
+    typo_insert_quote,
+)
+from repro.table import Table
+
+DEFAULT_ROWS = 200_000
+ERROR_RATE = 0.04
+ERROR_TYPES = ("T", "FI", "VAD")
+
+_COLUMNS = [
+    "f_name", "l_name", "gender", "area_code", "phone", "city", "state",
+    "zip", "marital_status", "has_child", "salary", "rate",
+    "single_exemp", "married_exemp", "child_exemp",
+]
+
+
+def _city_suffix_typo(value: str, row: dict, rng: np.random.Generator) -> str:
+    """T: 'ARCHIE' -> 'ARCHIE-*' (the Tax city corruption)."""
+    return value + "-*" if value else value
+
+
+def _clean_table(n_rows: int, rng: np.random.Generator) -> Table:
+    rows = []
+    for _ in range(n_rows):
+        first, last = vocab.person_name(rng)
+        city, state = vocab.CITY_STATE[int(rng.integers(len(vocab.CITY_STATE)))]
+        married = bool(rng.integers(2))
+        has_child = bool(rng.integers(2)) if married else False
+        salary = int(rng.integers(18, 250)) * 1000
+        rows.append({
+            "f_name": first.upper(),
+            "l_name": last.upper(),
+            "gender": "M" if rng.integers(2) else "F",
+            "area_code": str(int(rng.integers(200, 999))),
+            "phone": f"{rng.integers(200, 999)}-{rng.integers(1000, 9999)}",
+            "city": city.upper(),
+            "state": state,
+            "zip": vocab.zip_code(rng),
+            "marital_status": "M" if married else "S",
+            "has_child": "Y" if has_child else "N",
+            "salary": str(salary),
+            "rate": str(int(rng.integers(2, 10))),
+            "single_exemp": "0" if married else str(int(rng.integers(1, 8)) * 500),
+            "married_exemp": str(int(rng.integers(1, 8)) * 1000) if married else "0",
+            "child_exemp": str(int(rng.integers(1, 5)) * 750) if has_child else "0",
+        })
+    return Table.from_rows(rows, column_names=_COLUMNS)
+
+
+def generate(n_rows: int = DEFAULT_ROWS, seed: int = 0,
+             error_rate: float = ERROR_RATE) -> DatasetPair:
+    """Generate the synthetic Tax pair (see module docstring)."""
+    rng = np.random.default_rng(seed)
+    clean = _clean_table(n_rows, rng)
+    injector = ErrorInjector([
+        ColumnErrorSpec("f_name", typo_insert_quote, ErrorType.TYPO, weight=2.0),
+        ColumnErrorSpec("city", _city_suffix_typo, ErrorType.TYPO, weight=2.0),
+        ColumnErrorSpec("zip", format_strip_leading_zeros,
+                        ErrorType.FORMATTING_ISSUE, weight=2.0),
+        ColumnErrorSpec("rate", format_decimal_suffix,
+                        ErrorType.FORMATTING_ISSUE, weight=2.0),
+        ColumnErrorSpec("state", make_dependency_violation(vocab.STATES),
+                        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=1.0),
+        ColumnErrorSpec("has_child", make_dependency_violation(["Y", "N"]),
+                        ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY, weight=1.0),
+    ])
+    dirty, ledger = injector.inject(clean, error_rate, rng)
+    return DatasetPair(name="tax", dirty=dirty, clean=clean,
+                       errors=ledger, error_types=ERROR_TYPES)

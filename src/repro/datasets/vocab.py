@@ -1,0 +1,154 @@
+"""Shared vocabularies and value factories for the dataset generators.
+
+The generators need realistic-looking names, places, words and numbers.
+Everything here is deterministic given the caller's random generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Jun'ichi",
+    "Chloe", "Andre", "Fatima", "Igor", "Mei", "Ravi", "Sofia", "Yuki",
+    "Omar",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "O'Connor", "Nakamura", "Petrov", "Rossi", "Dubois",
+]
+
+#: (city, state) pairs with a real functional dependency city -> state.
+CITY_STATE = [
+    ("San Diego", "CA"), ("Los Angeles", "CA"), ("San Francisco", "CA"),
+    ("Portland", "OR"), ("Seattle", "WA"), ("Denver", "CO"),
+    ("Chicago", "IL"), ("Boston", "MA"), ("New York", "NY"),
+    ("Austin", "TX"), ("Houston", "TX"), ("Miami", "FL"),
+    ("Atlanta", "GA"), ("Nashville", "TN"), ("Phoenix", "AZ"),
+    ("Birmingham", "AL"), ("Dothan", "AL"), ("Mobile", "AL"),
+    ("Archie", "MO"), ("Columbus", "OH"),
+]
+
+STATES = sorted({state for _, state in CITY_STATE})
+
+BEER_STYLES = [
+    "American IPA", "American Pale Ale", "American Porter", "Hefeweizen",
+    "Witbier", "Saison", "Oatmeal Stout", "American Amber Ale",
+    "Fruit Beer", "Kolsch", "English Brown Ale", "Pilsner",
+]
+
+BREWERY_WORDS = [
+    "Anchor", "Stone", "Odell", "Bell's", "Founders", "Harpoon", "Summit",
+    "Deschutes", "Ninkasi", "Surly", "Cigar City", "Alchemist",
+]
+
+BREWERY_SUFFIXES = ["Brewing Company", "Brewery", "Beer Co.", "Ales"]
+
+AIRLINES = ["AA", "UA", "DL", "WN", "B6", "AS"]
+
+AIRPORTS = ["JFK", "SFO", "LAX", "ORD", "DEN", "SEA", "BOS", "MIA", "ATL",
+            "PHX", "DFW", "IAH"]
+
+FLIGHT_SOURCES = ["aa", "airtravelcenter", "flightview", "flightstats",
+                  "orbitz", "mytripandmore"]
+
+HOSPITAL_CONDITIONS = [
+    "Heart Attack", "Heart Failure", "Pneumonia", "Surgical Infection Prevention",
+]
+
+HOSPITAL_MEASURES = [
+    ("AMI-1", "aspirin at arrival"),
+    ("AMI-2", "aspirin at discharge"),
+    ("AMI-3", "ace inhibitor for lvsd"),
+    ("AMI-4", "adult smoking cessation advice"),
+    ("HF-1", "discharge instructions"),
+    ("HF-2", "evaluation of lvs function"),
+    ("PN-2", "pneumococcal vaccination"),
+    ("PN-3B", "blood culture before first antibiotic"),
+    ("SCIP-INF-1", "prophylactic antibiotic within one hour"),
+    ("SCIP-INF-2", "prophylactic antibiotic selection"),
+]
+
+HOSPITAL_OWNERS = [
+    "Government - Hospital District", "Proprietary",
+    "Voluntary non-profit - Private", "Voluntary non-profit - Church",
+]
+
+MOVIE_WORDS = [
+    "Midnight", "Silent", "Golden", "Broken", "Crimson", "Eternal", "Lost",
+    "Hidden", "Savage", "Gentle", "Electric", "Paper", "Glass", "Iron",
+    "Velvet", "Hollow",
+]
+
+MOVIE_NOUNS = [
+    "River", "Empire", "Garden", "Horizon", "Station", "Letters", "Shadows",
+    "Kingdom", "Promise", "Journey", "Symphony", "Harbor", "Mirage",
+    "Carnival", "Echoes", "Voyage",
+]
+
+MOVIE_GENRES = ["Drama", "Comedy", "Action", "Thriller", "Romance", "Sci-Fi",
+                "Horror", "Documentary", "Animation", "Crime"]
+
+LANGUAGES = ["English", "French", "Spanish", "German", "Japanese", "Korean",
+             "Italian", "Mandarin", "Hindi", "Portuguese"]
+
+COUNTRIES = ["USA", "UK", "France", "Germany", "Japan", "South Korea",
+             "Italy", "China", "India", "Brazil"]
+
+JOURNALS = [
+    ("Journal of Clinical Oncology", "J Clin Oncol", "0732-183X"),
+    ("The Lancet", "Lancet", "0140-6736"),
+    ("New England Journal of Medicine", "N Engl J Med", "0028-4793"),
+    ("Annals of Internal Medicine", "Ann Intern Med", "0003-4819"),
+    ("British Medical Journal", "BMJ", "0959-8138"),
+    ("Cancer Research", "Cancer Res", "0008-5472"),
+    ("Pediatrics", "Pediatrics", "0031-4005"),
+    ("Circulation", "Circulation", "0009-7322"),
+]
+
+RESEARCH_TOPICS = [
+    "randomized trial of adjuvant therapy",
+    "systematic review of screening outcomes",
+    "meta-analysis of risk factors",
+    "cohort study of long-term survival",
+    "case-control study of biomarkers",
+    "evaluation of diagnostic accuracy",
+    "protocol for early intervention",
+    "cost-effectiveness of vaccination",
+]
+
+
+def pick(rng: np.random.Generator, items: list) -> object:
+    """Uniform choice from a list (index-based to stay deterministic)."""
+    return items[int(rng.integers(len(items)))]
+
+
+def person_name(rng: np.random.Generator) -> tuple[str, str]:
+    """A (first, last) name pair."""
+    return str(pick(rng, FIRST_NAMES)), str(pick(rng, LAST_NAMES))
+
+
+def phone_number(rng: np.random.Generator) -> str:
+    """A ``NNN-NNN-NNNN``-style phone number."""
+    return (f"{rng.integers(200, 999)}-{rng.integers(200, 999)}"
+            f"-{rng.integers(1000, 9999)}")
+
+
+def zip_code(rng: np.random.Generator) -> str:
+    """A 5-digit ZIP, sometimes with a leading zero (the Tax FI target)."""
+    if rng.integers(4) == 0:
+        return f"0{rng.integers(1000, 9999)}"
+    return f"{rng.integers(10000, 99999)}"
+
+
+def clock_time(rng: np.random.Generator) -> str:
+    """A ``'H:MM a.m.'`` time string in the Flights format."""
+    hour = int(rng.integers(1, 13))
+    minute = int(rng.integers(60))
+    half = "a.m." if rng.integers(2) else "p.m."
+    return f"{hour}:{minute:02d} {half}"

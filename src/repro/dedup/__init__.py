@@ -1,0 +1,31 @@
+"""Duplicate-record handling (the paper's §5.7 future work).
+
+The Flights failure mode: the same flight is reported by several sources
+with disagreeing times, and a per-cell character model cannot see the
+cross-record signal.  "To improve this, we should integrate a way to
+identify primary keys ... our system would know that it has to fuse the
+values in one record."
+
+This subpackage implements that plan:
+
+* :func:`identify_record_key` -- find the column(s) that identify an
+  entity across duplicate records (a non-unique near-key);
+* :class:`DuplicateGroups` -- group records by the key and expose
+  per-group value disagreements;
+* :func:`disagreement_mask` -- flag cells that deviate from their
+  group's majority value (a per-cell error signal);
+* :class:`FusedDetector` -- fuse a base detector's predictions with the
+  disagreement signal.
+"""
+
+from repro.dedup.keys import identify_record_key
+from repro.dedup.groups import DuplicateGroups, disagreement_mask
+from repro.dedup.fusion import FusedDetector, fuse_predictions
+
+__all__ = [
+    "identify_record_key",
+    "DuplicateGroups",
+    "disagreement_mask",
+    "FusedDetector",
+    "fuse_predictions",
+]

@@ -1,0 +1,104 @@
+"""Duplicate-record groups and cross-record disagreement signals."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.table import Table
+
+
+class DuplicateGroups:
+    """Rows of a table grouped by a record key.
+
+    Parameters
+    ----------
+    table:
+        The (dirty) table.
+    key_columns:
+        Columns identifying the entity (see
+        :func:`repro.dedup.keys.identify_record_key`).
+    """
+
+    def __init__(self, table: Table, key_columns: tuple[str, ...]):
+        for name in key_columns:
+            if name not in table:
+                raise DataError(f"unknown key column {name!r}")
+        if not key_columns:
+            raise DataError("at least one key column is required")
+        self._table = table
+        self._key_columns = tuple(key_columns)
+        key_cols = [table.column(c).values for c in key_columns]
+        groups: dict[tuple, list[int]] = {}
+        for i in range(table.n_rows):
+            key = tuple(col[i] for col in key_cols)
+            groups.setdefault(key, []).append(i)
+        self._groups = groups
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        """The grouping key."""
+        return self._key_columns
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def n_duplicated_records(self) -> int:
+        """Rows living in a group of size >= 2."""
+        return sum(len(ix) for ix in self._groups.values() if len(ix) > 1)
+
+    def groups(self) -> dict[tuple, list[int]]:
+        """Key tuple -> row indices."""
+        return {k: list(v) for k, v in self._groups.items()}
+
+    def majority_values(self) -> dict[tuple, dict[str, object]]:
+        """Per group, the majority value of every non-key column.
+
+        Empty strings and ``None`` never win a majority unless the whole
+        group is empty -- a missing value is an error candidate, not
+        evidence of the true value.
+        """
+        value_columns = [c for c in self._table.column_names
+                         if c not in self._key_columns]
+        majorities: dict[tuple, dict[str, object]] = {}
+        for key, indices in self._groups.items():
+            row_majority: dict[str, object] = {}
+            for name in value_columns:
+                counts: dict[object, int] = {}
+                for i in indices:
+                    value = self._table.column(name)[i]
+                    if value in (None, ""):
+                        continue
+                    counts[value] = counts.get(value, 0) + 1
+                if counts:
+                    row_majority[name] = max(counts, key=counts.get)
+                else:
+                    row_majority[name] = None
+            majorities[key] = row_majority
+        return majorities
+
+
+def disagreement_mask(table: Table, key_columns: tuple[str, ...]) -> np.ndarray:
+    """Boolean ``(n_rows, n_columns)`` mask of cross-record disagreements.
+
+    A cell is flagged when its record belongs to a multi-row group and
+    its value deviates from the group's majority for that column --
+    exactly the Flights error pattern (``'2:46 p.m.'`` on orbitz vs
+    ``'2:26 p.m.'`` on flightstats).  Key columns are never flagged.
+    """
+    groups = DuplicateGroups(table, key_columns)
+    majorities = groups.majority_values()
+    mask = np.zeros(table.shape, dtype=bool)
+    column_pos = {name: j for j, name in enumerate(table.column_names)}
+    for key, indices in groups.groups().items():
+        if len(indices) < 2:
+            continue
+        majority = majorities[key]
+        for name, expected in majority.items():
+            if expected is None:
+                continue
+            j = column_pos[name]
+            for i in indices:
+                if table.column(name)[i] != expected:
+                    mask[i, j] = True
+    return mask

@@ -1,0 +1,124 @@
+"""Record-key identification for duplicate detection.
+
+A *record key* is a column (or small column set) that identifies an
+entity which may legitimately appear in several rows -- Flights'
+``flight`` column, for example.  Unlike a candidate key it is expected
+to be non-unique; unlike an arbitrary column it must partition the table
+into groups whose other attributes mostly agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.table import Table
+
+
+@dataclass(frozen=True)
+class RecordKeyCandidate:
+    """A scored record-key hypothesis.
+
+    Attributes
+    ----------
+    columns:
+        The key columns.
+    duplication:
+        Fraction of rows that share their key with at least one other
+        row (0 = unique key, useless for fusion).
+    agreement:
+        Mean fraction of non-key cells agreeing with their group
+        majority, over multi-row groups.  High agreement means the key
+        groups genuinely duplicated records rather than unrelated rows.
+    score:
+        ``duplication * agreement`` -- the ranking criterion.
+    """
+
+    columns: tuple[str, ...]
+    duplication: float
+    agreement: float
+
+    @property
+    def score(self) -> float:
+        return self.duplication * self.agreement
+
+
+def _group_rows(table: Table, columns: tuple[str, ...]) -> dict[tuple, list[int]]:
+    key_cols = [table.column(c).values for c in columns]
+    groups: dict[tuple, list[int]] = {}
+    for i in range(table.n_rows):
+        key = tuple(col[i] for col in key_cols)
+        if None in key or "" in key:
+            continue
+        groups.setdefault(key, []).append(i)
+    return groups
+
+
+def score_record_key(table: Table, columns: tuple[str, ...],
+                     exclude: frozenset[str] = frozenset()) -> RecordKeyCandidate:
+    """Score one key hypothesis (see :class:`RecordKeyCandidate`)."""
+    groups = _group_rows(table, columns)
+    n_rows = table.n_rows
+    if n_rows == 0:
+        return RecordKeyCandidate(columns, 0.0, 0.0)
+    duplicated_rows = sum(len(ix) for ix in groups.values() if len(ix) > 1)
+    duplication = duplicated_rows / n_rows
+
+    value_columns = [c for c in table.column_names
+                     if c not in columns and c not in exclude]
+    agreements: list[float] = []
+    for indices in groups.values():
+        if len(indices) < 2:
+            continue
+        agreeing = 0
+        total = 0
+        for name in value_columns:
+            values = [table.column(name)[i] for i in indices]
+            counts: dict[object, int] = {}
+            for value in values:
+                counts[value] = counts.get(value, 0) + 1
+            agreeing += max(counts.values())
+            total += len(values)
+        if total:
+            agreements.append(agreeing / total)
+    agreement = sum(agreements) / len(agreements) if agreements else 0.0
+    return RecordKeyCandidate(columns, duplication, agreement)
+
+
+def identify_record_key(table: Table, max_size: int = 1,
+                        min_duplication: float = 0.2,
+                        min_agreement: float = 0.5,
+                        exclude: tuple[str, ...] = ()) -> RecordKeyCandidate | None:
+    """Find the best record key, or ``None`` when nothing qualifies.
+
+    Parameters
+    ----------
+    table:
+        The (dirty) table to analyse.
+    max_size:
+        Largest key size to consider.
+    min_duplication:
+        Required fraction of rows sharing their key value.
+    min_agreement:
+        Required mean within-group agreement of non-key cells (a dirty
+        table never agrees perfectly; 0.5 tolerates a 30% error rate).
+    exclude:
+        Columns never considered part of the key and ignored in the
+        agreement computation (e.g. a source/provenance column).
+    """
+    if table.n_rows == 0:
+        raise DataError("cannot identify a record key on an empty table")
+    excluded = frozenset(exclude)
+    best: RecordKeyCandidate | None = None
+    names = [c for c in table.column_names if c not in excluded]
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(names, size):
+            candidate = score_record_key(table, combo, exclude=excluded)
+            if candidate.duplication < min_duplication:
+                continue
+            if candidate.agreement < min_agreement:
+                continue
+            if best is None or candidate.score > best.score:
+                best = candidate
+    return best

@@ -1,0 +1,66 @@
+"""The evaluation harness: every table and figure of the paper.
+
+* :mod:`~repro.experiments.reference` -- the paper's published numbers
+  (Tables 3-5), kept as constants for side-by-side reporting;
+* :mod:`~repro.experiments.runner` -- repeated-run experiment execution
+  with timing and optional per-epoch curves;
+* :mod:`~repro.experiments.tables` -- renderers for Tables 2, 3, 4, 5;
+* :mod:`~repro.experiments.curves` -- the Figure 6 / Figure 7 series;
+* :mod:`~repro.experiments.scale` -- scaled-down vs paper-scale settings
+  (``REPRO_FULL=1`` switches the benchmarks to full fidelity).
+"""
+
+from repro.experiments.fidelity import FidelityReport, fidelity_report, spearman_rho
+from repro.experiments.curves import CurvePoint, LearningCurves, collect_curves
+from repro.experiments.reference import PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5
+from repro.experiments.analysis import (
+    AttributeBreakdown,
+    attribute_breakdown,
+    error_type_recall,
+    false_negatives,
+    hardest_attributes,
+    render_breakdown,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    RunResult,
+    run_augmentation_baseline,
+    run_experiment,
+    run_raha_baseline,
+)
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "RunResult",
+    "ExperimentResult",
+    "run_experiment",
+    "run_raha_baseline",
+    "run_augmentation_baseline",
+    "AttributeBreakdown",
+    "attribute_breakdown",
+    "error_type_recall",
+    "false_negatives",
+    "hardest_attributes",
+    "render_breakdown",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "CurvePoint",
+    "FidelityReport",
+    "fidelity_report",
+    "spearman_rho",
+    "LearningCurves",
+    "collect_curves",
+    "ExperimentScale",
+    "current_scale",
+]

@@ -1,0 +1,138 @@
+"""Per-attribute and per-error-type analysis (Section 5.5).
+
+The paper's error analysis explains each dataset's score qualitatively:
+Flights fails on cross-record time disagreements, Movies on truncated
+Creator values, Hospital succeeds because 'x'-typos are trivially
+learnable.  This module makes that analysis mechanical:
+
+* :func:`attribute_breakdown` -- precision/recall/F1 per attribute;
+* :func:`error_type_recall` -- recall per injected error type, using the
+  generator's :class:`~repro.datasets.errors.CellError` ledger;
+* :func:`hardest_attributes` / :func:`false_negatives` -- ranked views
+  for reports and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import ErrorType
+from repro.errors import ExperimentError
+from repro.metrics import ClassificationReport
+from repro.models.detector import DetectionResult
+
+
+@dataclass(frozen=True)
+class AttributeBreakdown:
+    """One attribute's detection metrics plus support counts."""
+
+    attribute: str
+    report: ClassificationReport
+    n_cells: int
+    n_errors: int
+
+
+def attribute_breakdown(result: DetectionResult,
+                        labels: np.ndarray) -> list[AttributeBreakdown]:
+    """Per-attribute metrics over a detection result's test cells.
+
+    Parameters
+    ----------
+    result:
+        Output of :meth:`ErrorDetector.evaluate`.
+    labels:
+        Ground-truth labels parallel to ``result.predictions`` (i.e.
+        ``detector.split.test.labels``).
+    """
+    labels = np.asarray(labels)
+    if labels.shape != result.predictions.shape:
+        raise ExperimentError(
+            f"labels shape {labels.shape} does not match predictions "
+            f"{result.predictions.shape}"
+        )
+    breakdowns = []
+    attribute_names = np.array(result.attribute_names)
+    for attribute in dict.fromkeys(result.attribute_names):  # stable order
+        index = attribute_names == attribute
+        report = ClassificationReport.from_predictions(
+            labels[index], result.predictions[index])
+        breakdowns.append(AttributeBreakdown(
+            attribute=attribute,
+            report=report,
+            n_cells=int(index.sum()),
+            n_errors=int(labels[index].sum()),
+        ))
+    return breakdowns
+
+
+def hardest_attributes(breakdowns: list[AttributeBreakdown],
+                       min_errors: int = 1) -> list[AttributeBreakdown]:
+    """Attributes with errors, worst F1 first (the §5.5 view)."""
+    with_errors = [b for b in breakdowns if b.n_errors >= min_errors]
+    return sorted(with_errors, key=lambda b: b.report.f1)
+
+
+def error_type_recall(pair: DatasetPair, result: DetectionResult
+                      ) -> dict[ErrorType, tuple[int, int]]:
+    """Per error type: ``(detected, total)`` over the test cells.
+
+    Uses the generator's injection ledger, so it is only available for
+    synthetic pairs (externally loaded data has no typed ledger).
+    """
+    if not pair.errors:
+        raise ExperimentError(
+            "error_type_recall needs an injection ledger; "
+            "this pair carries none"
+        )
+    predicted = set(zip(result.tuple_ids.tolist(),
+                        result.attribute_names))
+    flagged = {
+        cell for cell, pred in zip(
+            zip(result.tuple_ids.tolist(), result.attribute_names),
+            result.predictions)
+        if pred == 1
+    }
+    counts: dict[ErrorType, tuple[int, int]] = {}
+    for error in pair.errors:
+        cell = (error.row, error.attribute)
+        if cell not in predicted:
+            continue  # training tuple, not part of the test split
+        detected, total = counts.get(error.error_type, (0, 0))
+        counts[error.error_type] = (
+            detected + (1 if cell in flagged else 0), total + 1)
+    return counts
+
+
+def false_negatives(result: DetectionResult, labels: np.ndarray,
+                    pair: DatasetPair, limit: int = 20
+                    ) -> list[tuple[int, str, str, str]]:
+    """Missed errors as ``(tuple_id, attribute, dirty, clean)`` rows."""
+    labels = np.asarray(labels)
+    missed = []
+    for i in range(result.predictions.shape[0]):
+        if labels[i] == 1 and result.predictions[i] == 0:
+            tuple_id = int(result.tuple_ids[i])
+            attribute = result.attribute_names[i]
+            missed.append((
+                tuple_id, attribute,
+                str(pair.dirty.column(attribute)[tuple_id]),
+                str(pair.clean.column(attribute)[tuple_id]),
+            ))
+            if len(missed) >= limit:
+                break
+    return missed
+
+
+def render_breakdown(breakdowns: list[AttributeBreakdown]) -> str:
+    """Plain-text per-attribute table for reports."""
+    lines = [f"{'attribute':<22} {'cells':>6} {'errors':>7} "
+             f"{'P':>6} {'R':>6} {'F1':>6}"]
+    for b in breakdowns:
+        lines.append(
+            f"{b.attribute:<22} {b.n_cells:>6} {b.n_errors:>7} "
+            f"{b.report.precision:>6.2f} {b.report.recall:>6.2f} "
+            f"{b.report.f1:>6.2f}")
+    return "\n".join(lines)

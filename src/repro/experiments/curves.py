@@ -1,0 +1,104 @@
+"""Learning-curve extraction for Figure 6 and Figure 7.
+
+Figure 6 plots the average test accuracy per epoch (with a confidence
+interval over the repeated runs) for TSB-RNN vs ETSB-RNN, marking the
+epoch each run's checkpoint selected.  Figure 7 plots ETSB-RNN's average
+train vs test accuracy.  Both reduce to per-epoch series over runs, which
+:func:`collect_curves` computes from tracked experiment results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import confidence_interval, mean
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One epoch of an averaged learning curve."""
+
+    epoch: int
+    mean: float
+    ci_low: float
+    ci_high: float
+
+
+@dataclass(frozen=True)
+class LearningCurves:
+    """Averaged train/test accuracy curves plus best-epoch markers."""
+
+    dataset: str
+    system: str
+    train: tuple[CurvePoint, ...]
+    test: tuple[CurvePoint, ...]
+    best_epochs: tuple[int, ...]
+
+    def as_series(self, which: str = "test") -> list[tuple[int, float]]:
+        """The ``(epoch, mean accuracy)`` pairs for plotting."""
+        points = self.test if which == "test" else self.train
+        return [(p.epoch, p.mean) for p in points]
+
+    def final_test_accuracy(self) -> float:
+        """Mean test accuracy at the last epoch."""
+        if not self.test:
+            raise ExperimentError("no test curve recorded")
+        return self.test[-1].mean
+
+
+def _average(curves: list[tuple[float, ...]]) -> tuple[CurvePoint, ...]:
+    if not curves:
+        return ()
+    n_epochs = min(len(c) for c in curves)
+    points = []
+    for epoch in range(n_epochs):
+        values = [c[epoch] for c in curves]
+        low, high = confidence_interval(values)
+        points.append(CurvePoint(epoch=epoch, mean=mean(values),
+                                 ci_low=low, ci_high=high))
+    return tuple(points)
+
+
+def collect_curves(result: ExperimentResult) -> LearningCurves:
+    """Build averaged curves from a curve-tracked experiment result.
+
+    Raises
+    ------
+    ExperimentError
+        When the experiment was run without ``track_curves=True``.
+    """
+    test_curves = [run.test_accuracy_curve for run in result.runs]
+    train_curves = [run.train_accuracy_curve for run in result.runs]
+    if not any(test_curves):
+        raise ExperimentError(
+            "experiment was run without track_curves=True; no curves recorded"
+        )
+    return LearningCurves(
+        dataset=result.dataset,
+        system=result.system,
+        train=_average([c for c in train_curves if c]),
+        test=_average([c for c in test_curves if c]),
+        best_epochs=tuple(run.best_epoch for run in result.runs
+                          if run.best_epoch is not None),
+    )
+
+
+def render_curve(curves: LearningCurves, which: str = "test",
+                 width: int = 60) -> str:
+    """A plain-text sparkline rendering of one curve (for bench output)."""
+    points = curves.test if which == "test" else curves.train
+    if not points:
+        return "(no curve)"
+    marks = " .:-=+*#%@"
+    lo = min(p.mean for p in points)
+    hi = max(p.mean for p in points)
+    span = (hi - lo) or 1.0
+    step = max(len(points) // width, 1)
+    chars = []
+    for i in range(0, len(points), step):
+        level = int((points[i].mean - lo) / span * (len(marks) - 1))
+        chars.append(marks[level])
+    return (f"{curves.system} {which} acc "
+            f"[{lo:.3f}..{hi:.3f}] {''.join(chars)}")

@@ -1,0 +1,124 @@
+"""Reproduction-fidelity metrics: how close are we to the paper?
+
+Absolute F1 parity is not the reproduction target (the substrate is a
+scaled simulator), but two quantities measure whether the reproduction
+preserves the paper's *findings*:
+
+* the per-dataset F1 gap distribution (mean absolute gap, worst gap);
+* the rank correlation between the paper's difficulty ordering of the
+  datasets and the measured one (Spearman's rho) -- 1.0 means "the same
+  datasets are easy/hard for the same reasons".
+
+Used by the reporting pipeline and the fidelity benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.reference import PAPER_TABLE3
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Paper-vs-measured agreement for one system.
+
+    Attributes
+    ----------
+    system:
+        Paper system name (``TSB-RNN`` or ``ETSB-RNN``).
+    gaps:
+        ``{dataset: measured_f1 - paper_f1}``.
+    mean_absolute_gap:
+        Mean of ``|gap|`` over datasets.
+    worst_dataset:
+        Dataset with the largest absolute gap.
+    rank_correlation:
+        Spearman's rho between paper and measured per-dataset F1
+        rankings (1.0 = identical difficulty ordering).
+    """
+
+    system: str
+    gaps: dict[str, float]
+    mean_absolute_gap: float
+    worst_dataset: str
+    rank_correlation: float
+
+    def render(self) -> str:
+        """Plain-text summary block."""
+        lines = [f"{self.system}: mean |F1 gap| = {self.mean_absolute_gap:.3f}, "
+                 f"difficulty-rank correlation = {self.rank_correlation:.2f}"]
+        for dataset, gap in sorted(self.gaps.items()):
+            lines.append(f"  {dataset:<10} {gap:+.3f}")
+        lines.append(f"  worst gap: {self.worst_dataset}")
+        return "\n".join(lines)
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Fractional ranks (ties averaged)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation of two equal-length sequences."""
+    if len(a) != len(b):
+        raise ExperimentError(f"length mismatch: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        raise ExperimentError("rank correlation needs at least 2 points")
+    ra, rb = _ranks(list(a)), _ranks(list(b))
+    mean_a = sum(ra) / len(ra)
+    mean_b = sum(rb) / len(rb)
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(ra, rb))
+    var_a = sum((x - mean_a) ** 2 for x in ra)
+    var_b = sum((y - mean_b) ** 2 for y in rb)
+    if var_a == 0 or var_b == 0:
+        return 0.0
+    return cov / (var_a * var_b) ** 0.5
+
+
+def fidelity_report(results: Sequence[ExperimentResult],
+                    system: str) -> FidelityReport:
+    """Compare measured results for one system against its paper row.
+
+    Parameters
+    ----------
+    results:
+        Experiment results; entries whose ``system`` matches are used.
+    system:
+        ``"TSB-RNN"`` or ``"ETSB-RNN"`` (must exist in the paper table).
+    """
+    if system not in PAPER_TABLE3:
+        raise ExperimentError(
+            f"no paper reference for {system!r}; "
+            f"available: {sorted(PAPER_TABLE3)}"
+        )
+    paper = PAPER_TABLE3[system]
+    measured = {r.dataset: r.f1.mean for r in results if r.system == system}
+    common = [d for d in paper if d in measured and paper[d].f1 is not None]
+    if len(common) < 2:
+        raise ExperimentError(
+            f"need measured results on >= 2 paper datasets for {system}, "
+            f"got {sorted(measured)}"
+        )
+    gaps = {d: measured[d] - paper[d].f1 for d in common}
+    mean_abs = sum(abs(g) for g in gaps.values()) / len(gaps)
+    worst = max(gaps, key=lambda d: abs(gaps[d]))
+    rho = spearman_rho([paper[d].f1 for d in common],
+                       [measured[d] for d in common])
+    return FidelityReport(system=system, gaps=gaps,
+                          mean_absolute_gap=mean_abs,
+                          worst_dataset=worst, rank_correlation=rho)

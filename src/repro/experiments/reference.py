@@ -1,0 +1,86 @@
+"""The paper's published numbers, kept verbatim for side-by-side reports.
+
+Raha and Rotom rows of Table 3 are quoted from the original papers (the
+authors did the same); TSB/ETSB rows are the paper's own measurements and
+serve as the reproduction target.  ``None`` encodes the paper's ``n/a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DATASETS = ("beers", "flights", "hospital", "movies", "rayyan", "tax")
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One (system, dataset) entry of Table 3."""
+
+    precision: float | None
+    recall: float | None
+    f1: float | None
+    f1_sd: float | None = None
+
+
+#: Table 3 -- comparison between the different models (20 labeled tuples).
+PAPER_TABLE3: dict[str, dict[str, PaperRow]] = {
+    "Raha": {
+        "beers": PaperRow(0.99, 0.99, 0.99),
+        "flights": PaperRow(0.82, 0.81, 0.81),
+        "hospital": PaperRow(0.94, 0.59, 0.72),
+        "movies": PaperRow(0.85, 0.88, 0.86),
+        "rayyan": PaperRow(0.81, 0.78, 0.79),
+        "tax": PaperRow(None, None, 0.91),
+    },
+    "Rotom": {
+        "beers": PaperRow(None, None, 0.99),
+        "flights": PaperRow(None, None, None),
+        "hospital": PaperRow(None, None, 1.00),
+        "movies": PaperRow(None, None, 0.68),
+        "rayyan": PaperRow(None, None, 0.86),
+        "tax": PaperRow(None, None, 0.97),
+    },
+    "Rotom+SSL": {
+        "beers": PaperRow(None, None, 0.99),
+        "flights": PaperRow(None, None, None),
+        "hospital": PaperRow(None, None, 1.00),
+        "movies": PaperRow(None, None, 0.54),
+        "rayyan": PaperRow(None, None, 0.76),
+        "tax": PaperRow(None, None, 1.00),
+    },
+    "TSB-RNN": {
+        "beers": PaperRow(0.99, 0.94, 0.96, 0.01),
+        "flights": PaperRow(0.77, 0.63, 0.69, 0.02),
+        "hospital": PaperRow(0.98, 0.95, 0.97, 0.01),
+        "movies": PaperRow(0.96, 0.79, 0.87, 0.03),
+        "rayyan": PaperRow(0.83, 0.73, 0.78, 0.05),
+        "tax": PaperRow(0.83, 0.90, 0.85, 0.11),
+    },
+    "ETSB-RNN": {
+        "beers": PaperRow(1.00, 0.96, 0.98, 0.01),
+        "flights": PaperRow(0.81, 0.68, 0.74, 0.02),
+        "hospital": PaperRow(0.98, 0.95, 0.97, 0.02),
+        "movies": PaperRow(0.96, 0.81, 0.88, 0.02),
+        "rayyan": PaperRow(0.87, 0.83, 0.85, 0.03),
+        "tax": PaperRow(0.82, 0.92, 0.86, 0.10),
+    },
+}
+
+#: Table 4 -- average F1 and s.d. without / with Flights.
+PAPER_TABLE4: dict[str, dict[str, float | None]] = {
+    "Raha": {"avg_wo": 0.85, "sd_wo": 0.08, "avg_w": 0.85, "sd_w": 0.07},
+    "Rotom": {"avg_wo": 0.90, "sd_wo": 0.10, "avg_w": None, "sd_w": None},
+    "Rotom+SSL": {"avg_wo": 0.86, "sd_wo": 0.17, "avg_w": None, "sd_w": None},
+    "TSB-RNN": {"avg_wo": 0.89, "sd_wo": 0.06, "avg_w": 0.85, "sd_w": 0.08},
+    "ETSB-RNN": {"avg_wo": 0.91, "sd_wo": 0.05, "avg_w": 0.88, "sd_w": 0.06},
+}
+
+#: Table 5 -- training time in seconds on Colab GPUs.
+PAPER_TABLE5: dict[str, dict[str, float]] = {
+    "beers": {"tsb_avg": 92, "tsb_sd": 1, "etsb_avg": 101, "etsb_sd": 1},
+    "flights": {"tsb_avg": 47, "tsb_sd": 0, "etsb_avg": 54, "etsb_sd": 0},
+    "hospital": {"tsb_avg": 283, "tsb_sd": 3, "etsb_avg": 287, "etsb_sd": 2},
+    "movies": {"tsb_avg": 302, "tsb_sd": 3, "etsb_avg": 312, "etsb_sd": 3},
+    "rayyan": {"tsb_avg": 199, "tsb_sd": 2, "etsb_avg": 209, "etsb_sd": 2},
+    "tax": {"tsb_avg": 176, "tsb_sd": 1, "etsb_avg": 183, "etsb_sd": 1},
+}

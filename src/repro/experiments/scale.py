@@ -1,0 +1,63 @@
+"""Scaled-down vs paper-scale experiment settings.
+
+The paper trains 120 epochs x 10 repetitions per dataset on Colab GPUs;
+our substrate is a pure-numpy CPU autograd engine.  The benchmarks
+therefore default to reduced settings that preserve the qualitative
+ordering and switch to full fidelity when ``REPRO_FULL=1`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.datasets.registry import dataset_spec
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Resolved experiment scale.
+
+    Attributes
+    ----------
+    full:
+        Whether paper-scale settings are active.
+    epochs:
+        Training epochs per run.
+    n_runs:
+        Repetitions per experiment (the paper uses 10).
+    n_label_tuples:
+        Labelled tuples per run (the paper uses 20).
+    """
+
+    full: bool
+    epochs: int
+    n_runs: int
+    n_label_tuples: int
+
+    def dataset_rows(self, name: str) -> int:
+        """Row count for one dataset under this scale."""
+        paper_rows = dataset_spec(name).paper_rows
+        if self.full:
+            return paper_rows
+        return min(paper_rows, _SCALED_ROWS.get(name, 200))
+
+
+#: Scaled-down row counts chosen so every dataset keeps > 100 tuples and
+#: the rarest error type still occurs in double digits.
+_SCALED_ROWS = {
+    "beers": 200,
+    "flights": 240,
+    "hospital": 200,
+    "movies": 200,
+    "rayyan": 200,
+    "tax": 300,
+}
+
+
+def current_scale() -> ExperimentScale:
+    """Resolve the active scale from the ``REPRO_FULL`` environment flag."""
+    full = os.environ.get("REPRO_FULL", "") == "1"
+    if full:
+        return ExperimentScale(full=True, epochs=120, n_runs=10, n_label_tuples=20)
+    return ExperimentScale(full=False, epochs=60, n_runs=2, n_label_tuples=20)

@@ -1,0 +1,174 @@
+"""Renderers for the paper's Tables 2-5.
+
+Each renderer takes measured :class:`~repro.experiments.runner.ExperimentResult`
+objects (and, where the paper quotes other systems, the published
+reference numbers) and produces both a structured
+:class:`~repro.table.Table` and a formatted text block that prints the
+same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datasets.base import DatasetPair
+from repro.errors import ExperimentError
+from repro.experiments.reference import (
+    DATASETS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import mean, stdev
+from repro.table import Table
+
+
+def _fmt(value: float | None, digits: int = 2) -> str:
+    return "n/a" if value is None else f"{value:.{digits}f}"
+
+
+def render_table2(pairs: Sequence[DatasetPair]) -> tuple[Table, str]:
+    """Table 2: dataset overview (size, error rate, characters, types)."""
+    rows = [pair.stats().as_row() for pair in pairs]
+    table = Table.from_rows(rows)
+    return table, table.preview(len(rows))
+
+
+def _results_by_dataset(results: Sequence[ExperimentResult]
+                        ) -> dict[tuple[str, str], ExperimentResult]:
+    indexed: dict[tuple[str, str], ExperimentResult] = {}
+    for result in results:
+        key = (result.system, result.dataset)
+        if key in indexed:
+            raise ExperimentError(f"duplicate result for {key}")
+        indexed[key] = result
+    return indexed
+
+
+def render_table3(results: Sequence[ExperimentResult],
+                  include_paper_rows: bool = True) -> tuple[Table, str]:
+    """Table 3: P/R/F1 per dataset for every system.
+
+    Measured systems come from ``results``; when ``include_paper_rows``
+    is set, the published Raha / Rotom / Rotom+SSL rows and the paper's
+    own TSB/ETSB rows are added for comparison (marked ``(paper)``).
+    """
+    indexed = _results_by_dataset(results)
+    systems = []
+    for result in results:
+        if result.system not in systems:
+            systems.append(result.system)
+
+    out_rows = []
+    if include_paper_rows:
+        for system, per_dataset in PAPER_TABLE3.items():
+            row: dict[str, object] = {"System": f"{system} (paper)"}
+            for dataset in DATASETS:
+                entry = per_dataset[dataset]
+                row[f"{dataset}/P"] = _fmt(entry.precision)
+                row[f"{dataset}/R"] = _fmt(entry.recall)
+                row[f"{dataset}/F1"] = _fmt(entry.f1)
+            out_rows.append(row)
+    for system in systems:
+        row = {"System": f"{system} (measured)"}
+        sd_row: dict[str, object] = {"System": "  s.d."}
+        for dataset in DATASETS:
+            result = indexed.get((system, dataset))
+            if result is None:
+                for metric in ("P", "R", "F1"):
+                    row[f"{dataset}/{metric}"] = "n/a"
+                    sd_row[f"{dataset}/{metric}"] = "n/a"
+                continue
+            summary = result.as_row()
+            for metric in ("P", "R", "F1"):
+                row[f"{dataset}/{metric}"] = _fmt(summary[metric])
+                sd_row[f"{dataset}/{metric}"] = _fmt(summary[f"{metric}_sd"])
+        out_rows.append(row)
+        out_rows.append(sd_row)
+    table = Table.from_rows(out_rows)
+    return table, table.preview(len(out_rows))
+
+
+def f1_averages(results: Sequence[ExperimentResult],
+                without: str = "flights") -> dict[str, dict[str, float]]:
+    """Per-system mean/stdev of F1 across datasets, with/without one dataset.
+
+    This is the Table 4 computation: the spread is over *datasets* (each
+    dataset contributing its mean F1 over runs), matching the paper.
+    """
+    by_system: dict[str, dict[str, float]] = {}
+    systems: dict[str, list[ExperimentResult]] = {}
+    for result in results:
+        systems.setdefault(result.system, []).append(result)
+    for system, system_results in systems.items():
+        f1s = {r.dataset: r.f1.mean for r in system_results}
+        with_values = list(f1s.values())
+        without_values = [v for d, v in f1s.items() if d != without]
+        if not without_values:
+            raise ExperimentError(f"no datasets besides {without!r} for {system}")
+        by_system[system] = {
+            "avg_wo": mean(without_values), "sd_wo": stdev(without_values),
+            "avg_w": mean(with_values), "sd_w": stdev(with_values),
+        }
+    return by_system
+
+
+def render_table4(results: Sequence[ExperimentResult],
+                  include_paper_rows: bool = True) -> tuple[Table, str]:
+    """Table 4: average F1 and s.d. without (1) and with (2) Flights."""
+    rows = []
+    if include_paper_rows:
+        for system, entry in PAPER_TABLE4.items():
+            rows.append({
+                "System": f"{system} (paper)",
+                "AVG w/o Flights": _fmt(entry["avg_wo"]),
+                "S.D. w/o Flights": _fmt(entry["sd_wo"]),
+                "AVG w/ Flights": _fmt(entry["avg_w"]),
+                "S.D. w/ Flights": _fmt(entry["sd_w"]),
+            })
+    for system, entry in f1_averages(results).items():
+        rows.append({
+            "System": f"{system} (measured)",
+            "AVG w/o Flights": _fmt(entry["avg_wo"]),
+            "S.D. w/o Flights": _fmt(entry["sd_wo"]),
+            "AVG w/ Flights": _fmt(entry["avg_w"]),
+            "S.D. w/ Flights": _fmt(entry["sd_w"]),
+        })
+    table = Table.from_rows(rows)
+    return table, table.preview(len(rows))
+
+
+def render_table5(results: Sequence[ExperimentResult],
+                  include_paper_rows: bool = True) -> tuple[Table, str]:
+    """Table 5: training time per dataset for TSB-RNN and ETSB-RNN."""
+    indexed = _results_by_dataset(results)
+    rows = []
+    measured_means: dict[str, list[float]] = {"TSB-RNN": [], "ETSB-RNN": []}
+    for dataset in DATASETS:
+        row: dict[str, object] = {"Name": dataset}
+        if include_paper_rows:
+            paper = PAPER_TABLE5[dataset]
+            row["TSB paper [s]"] = _fmt(paper["tsb_avg"], 0)
+            row["ETSB paper [s]"] = _fmt(paper["etsb_avg"], 0)
+        for system, column in (("TSB-RNN", "TSB measured [s]"),
+                               ("ETSB-RNN", "ETSB measured [s]")):
+            result = indexed.get((system, dataset))
+            if result is None:
+                row[column] = "n/a"
+            else:
+                seconds = result.train_seconds
+                row[column] = f"{seconds.mean:.1f} ± {seconds.stdev:.1f}"
+                measured_means[system].append(seconds.mean)
+        rows.append(row)
+    avg_row: dict[str, object] = {"Name": "AVG"}
+    if include_paper_rows:
+        avg_row["TSB paper [s]"] = "183"
+        avg_row["ETSB paper [s]"] = "191"
+    for system, column in (("TSB-RNN", "TSB measured [s]"),
+                           ("ETSB-RNN", "ETSB measured [s]")):
+        values = measured_means[system]
+        avg_row[column] = _fmt(mean(values), 1) if values else "n/a"
+    rows.append(avg_row)
+    table = Table.from_rows(rows)
+    return table, table.preview(len(rows))

@@ -1,0 +1,24 @@
+"""Evaluation metrics and summary statistics for the experiments."""
+
+from repro.metrics.classification import (
+    ClassificationReport,
+    accuracy,
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.metrics.stats import confidence_interval, mean, stdev, summarize
+
+__all__ = [
+    "ClassificationReport",
+    "accuracy",
+    "confusion_counts",
+    "precision",
+    "recall",
+    "f1_score",
+    "mean",
+    "stdev",
+    "confidence_interval",
+    "summarize",
+]

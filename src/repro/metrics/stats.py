@@ -1,0 +1,79 @@
+"""Summary statistics over repeated experiment runs.
+
+The paper repeats every experiment 10 times and reports mean, standard
+deviation (Tables 3-5) and confidence intervals (Figures 6/7).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+# Two-sided 95% critical values of Student's t for small samples
+# (df 1..30); beyond 30 we fall back to the normal value 1.96.
+_T_95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ExperimentError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (``n - 1`` denominator); 0.0 for n == 1."""
+    if not values:
+        raise ExperimentError("stdev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def confidence_interval(values: Sequence[float],
+                        level: float = 0.95) -> tuple[float, float]:
+    """Two-sided t confidence interval for the mean.
+
+    Only the 95% level is supported (the figures use 95% bands); other
+    levels raise.
+    """
+    if abs(level - 0.95) > 1e-9:
+        raise ExperimentError(f"only the 0.95 level is supported, got {level}")
+    if not values:
+        raise ExperimentError("confidence interval of empty sequence")
+    mu = mean(values)
+    if len(values) == 1:
+        return (mu, mu)
+    df = len(values) - 1
+    critical = _T_95[df - 1] if df <= len(_T_95) else 1.96
+    half_width = critical * stdev(values) / math.sqrt(len(values))
+    return (mu - half_width, mu + half_width)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation and 95% CI of a metric over runs."""
+
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.stdev:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` from repeated measurements."""
+    low, high = confidence_interval(values)
+    return Summary(mean=mean(values), stdev=stdev(values),
+                   ci_low=low, ci_high=high, n=len(values))

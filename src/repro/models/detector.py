@@ -1,0 +1,281 @@
+"""The end-to-end error-detection API (the paper's "system in action").
+
+:class:`ErrorDetector` wires the whole pipeline together: data
+preparation, trainset selection, label acquisition (from the clean table
+or a user-supplied labelling function), training with best-train-loss
+checkpointing, and evaluation on the held-out cells.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataprep import (
+    PreparedData,
+    TrainTestSplit,
+    prepare,
+    split_by_tuple_ids,
+)
+from repro.datasets.base import DatasetPair
+from repro.errors import ConfigurationError, NotFittedError
+from repro.metrics import ClassificationReport
+from repro.models.config import ModelConfig, TrainingConfig
+from repro.models.etsb_rnn import ETSBRNN
+from repro.models.tsb_rnn import TSBRNN
+from repro.nn import (
+    BestWeightsCheckpoint,
+    Callback,
+    RMSprop,
+    Trainer,
+    categorical_cross_entropy,
+)
+from repro.nn.losses import one_hot
+from repro.nn.module import Module
+from repro.sampling import DiverSet, Sampler
+from repro.table import Table
+
+ARCHITECTURES = ("tsb", "etsb")
+
+#: Maps a tuple id and its attribute-ordered dirty values to 0/1 labels.
+LabelFunction = Callable[[int, dict[str, str]], Sequence[int]]
+
+
+def build_model(architecture: str, prepared: PreparedData,
+                config: ModelConfig, rng: np.random.Generator) -> Module:
+    """Instantiate TSB-RNN or ETSB-RNN for a prepared dataset."""
+    if architecture == "tsb":
+        return TSBRNN(prepared.char_index.vocab_size, config, rng)
+    if architecture == "etsb":
+        return ETSBRNN(prepared.char_index.vocab_size,
+                       prepared.attribute_index.vocab_size, config, rng)
+    raise ConfigurationError(
+        f"architecture must be one of {ARCHITECTURES}, got {architecture!r}"
+    )
+
+
+def _loss(probabilities, labels) -> object:
+    return categorical_cross_entropy(probabilities, one_hot(labels, 2))
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Evaluation output of a fitted detector.
+
+    Attributes
+    ----------
+    report:
+        Precision / recall / F1 / accuracy on the test cells.
+    predictions:
+        Binary error predictions, parallel to the test cells.
+    tuple_ids:
+        Tuple id of each test cell.
+    attribute_names:
+        Attribute of each test cell.
+    """
+
+    report: ClassificationReport
+    predictions: np.ndarray
+    tuple_ids: np.ndarray
+    attribute_names: tuple[str, ...]
+
+    def errors(self) -> list[tuple[int, str]]:
+        """The (tuple_id, attribute) pairs predicted to be erroneous."""
+        return [
+            (int(tid), attr)
+            for tid, attr, pred in zip(self.tuple_ids, self.attribute_names,
+                                       self.predictions)
+            if pred == 1
+        ]
+
+
+class ErrorDetector:
+    """Detect erroneous cells in a dirty table with a BiRNN classifier.
+
+    Parameters
+    ----------
+    architecture:
+        ``"etsb"`` (default, the paper's best model) or ``"tsb"``.
+    sampler:
+        Trainset-selection algorithm (default: the paper's DiverSet).
+    n_label_tuples:
+        Number of tuples the user labels (the paper uses 20).
+    model_config, training_config:
+        Architecture and training hyperparameters.
+    seed:
+        Controls initialization, batching and sampler tie-breaks.
+    extra_callbacks:
+        Additional training callbacks (e.g. an
+        :class:`~repro.nn.callbacks.EpochEvaluator` for learning curves).
+    """
+
+    def __init__(self, architecture: str = "etsb",
+                 sampler: Sampler | None = None,
+                 n_label_tuples: int = 20,
+                 model_config: ModelConfig | None = None,
+                 training_config: TrainingConfig | None = None,
+                 seed: int = 0,
+                 extra_callbacks: Sequence[Callback] = ()):
+        if architecture not in ARCHITECTURES:
+            raise ConfigurationError(
+                f"architecture must be one of {ARCHITECTURES}, got {architecture!r}"
+            )
+        self.architecture = architecture
+        self.sampler = sampler if sampler is not None else DiverSet()
+        self.n_label_tuples = n_label_tuples
+        self.model_config = model_config if model_config is not None else ModelConfig()
+        self.training_config = (training_config if training_config is not None
+                                else TrainingConfig())
+        self.seed = seed
+        self.extra_callbacks = tuple(extra_callbacks)
+        self.model: Module | None = None
+        self.prepared: PreparedData | None = None
+        self.split: TrainTestSplit | None = None
+        self.trainer: Trainer | None = None
+        self.checkpoint: BestWeightsCheckpoint | None = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, pair: DatasetPair) -> "ErrorDetector":
+        """Fit on a benchmark pair, labelling sampled tuples from the clean table.
+
+        This mirrors the paper's experiments: the user's labelling of the
+        20 selected tuples is simulated with the ground truth, and *only*
+        those tuples' labels are ever shown to the model.
+        """
+        return self.fit_tables(pair.dirty, pair.clean)
+
+    def fit_tables(self, dirty: Table, clean: Table) -> "ErrorDetector":
+        """Fit from explicit dirty/clean tables (ground-truth labelling)."""
+        prepared = prepare(dirty, clean)
+        rng = np.random.default_rng(self.seed)
+        train_ids = self.sampler.select(self.n_label_tuples, prepared, rng)
+        split = split_by_tuple_ids(prepared, train_ids)
+        return self._train(prepared, split, rng)
+
+    def fit_with_labels(self, dirty: Table, label_fn: LabelFunction) -> "ErrorDetector":
+        """Fit with labels obtained interactively from ``label_fn``.
+
+        This is the production entry point: no clean table exists, the
+        sampler proposes tuples and ``label_fn`` plays the human
+        annotator, returning one 0/1 label per attribute of the proposed
+        tuple.  Evaluation metrics are unavailable in this mode (there is
+        no ground truth for the test cells); use :meth:`predict_table`.
+        """
+        # Self-merge gives a long table with all labels 0; the user's
+        # labels overwrite the sampled tuples' rows below.
+        prepared = prepare(dirty, dirty)
+        rng = np.random.default_rng(self.seed)
+        train_ids = self.sampler.select(self.n_label_tuples, prepared, rng)
+
+        id_col = prepared.df.column("id_").values
+        attr_col = prepared.df.column("attribute").values
+        value_col = prepared.df.column("value_x").values
+        rows_by_id: dict[int, dict[str, str]] = {}
+        for tid, attr, value in zip(id_col, attr_col, value_col):
+            rows_by_id.setdefault(int(tid), {})[attr] = value
+
+        labels_by_cell: dict[tuple[int, str], int] = {}
+        for tid in train_ids:
+            row = rows_by_id[tid]
+            labels = list(label_fn(tid, row))
+            if len(labels) != len(prepared.attributes):
+                raise ConfigurationError(
+                    f"label_fn returned {len(labels)} labels for tuple {tid}, "
+                    f"expected {len(prepared.attributes)}"
+                )
+            for attr, label in zip(prepared.attributes, labels):
+                if label not in (0, 1):
+                    raise ConfigurationError(
+                        f"labels must be 0 or 1, got {label!r}"
+                    )
+                labels_by_cell[(tid, attr)] = int(label)
+
+        df = prepared.df.with_computed(
+            "label",
+            lambda row: labels_by_cell.get((int(row["id_"]), row["attribute"]),
+                                           int(row["label"])),
+        )
+        prepared = PreparedData(
+            df=df, attributes=prepared.attributes,
+            char_index=prepared.char_index,
+            attribute_index=prepared.attribute_index,
+            max_length=prepared.max_length,
+        )
+        split = split_by_tuple_ids(prepared, train_ids)
+        return self._train(prepared, split, rng)
+
+    def _train(self, prepared: PreparedData, split: TrainTestSplit,
+               rng: np.random.Generator) -> "ErrorDetector":
+        model = build_model(self.architecture, prepared, self.model_config, rng)
+        optimizer = RMSprop(model.parameters(),
+                            learning_rate=self.training_config.learning_rate)
+        checkpoint = BestWeightsCheckpoint(monitor="loss", mode="min")
+        trainer = Trainer(
+            model=model,
+            optimizer=optimizer,
+            loss_fn=_loss,
+            max_grad_norm=self.training_config.max_grad_norm,
+            rng=rng,
+            callbacks=(checkpoint, *self.extra_callbacks),
+        )
+        batch_size = self.training_config.batch_size(split.train_size)
+        # Publish state before fitting so that per-epoch callbacks (e.g.
+        # learning-curve evaluators) can reach the model and the split.
+        self.model = model
+        self.prepared = prepared
+        self.split = split
+        self.trainer = trainer
+        self.checkpoint = checkpoint
+        trainer.fit(split.train.features, split.train.labels,
+                    epochs=self.training_config.epochs, batch_size=batch_size)
+        return self
+
+    # -- inference ------------------------------------------------------------
+
+    def _require_fitted(self) -> tuple[Module, PreparedData, TrainTestSplit, Trainer]:
+        if self.model is None or self.prepared is None or self.split is None \
+                or self.trainer is None:
+            raise NotFittedError("fit() has not been called")
+        return self.model, self.prepared, self.split, self.trainer
+
+    def predict(self, features: dict[str, np.ndarray]) -> np.ndarray:
+        """Binary error predictions for encoded features.
+
+        Works on freshly fitted detectors and on detectors restored via
+        :func:`repro.models.serialization.load_detector` (which carry no
+        train/test split).
+        """
+        if self.trainer is None:
+            raise NotFittedError("fit() has not been called")
+        probabilities = self.trainer.predict_proba(features)
+        return probabilities.argmax(axis=1).astype(np.int64)
+
+    def evaluate(self) -> DetectionResult:
+        """Evaluate the fitted model on the held-out test cells."""
+        _, __, split, ___ = self._require_fitted()
+        predictions = self.predict(split.test.features)
+        report = ClassificationReport.from_predictions(split.test.labels,
+                                                       predictions)
+        return DetectionResult(
+            report=report,
+            predictions=predictions,
+            tuple_ids=split.test.tuple_ids,
+            attribute_names=split.test.attribute_names,
+        )
+
+    def predict_table(self) -> list[tuple[int, str]]:
+        """Predicted-erroneous cells over the *whole* table (train + test)."""
+        from repro.dataprep import encode_cells
+        _, prepared, __, trainer = self._require_fitted()
+        encoded = encode_cells(prepared)
+        probabilities = trainer.predict_proba(encoded.features)
+        predictions = probabilities.argmax(axis=1)
+        return [
+            (int(tid), attr)
+            for tid, attr, pred in zip(encoded.tuple_ids,
+                                       encoded.attribute_names, predictions)
+            if pred == 1
+        ]

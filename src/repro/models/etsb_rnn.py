@@ -1,0 +1,92 @@
+"""ETSB-RNN: the Enriched Two-Stacked Bidirectional RNN (Section 4.3.2).
+
+Extends TSB-RNN with two additional inputs (Figure 5, bottom part):
+
+* the **attribute index** -- embedded and passed through its own
+  two-stacked bidirectional RNN with 8 units (the attribute is a
+  length-1 sequence, so this is a learned nonlinear attribute encoding);
+* the **normalised value length** -- a dense 64 ReLU branch.
+
+The three branch outputs are concatenated and fed through the same head
+as TSB-RNN (dense 32 ReLU -> batch norm -> dense 2 softmax).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, concat
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.nn import BatchNorm1d, BidirectionalRNN, Dense, Embedding
+from repro.nn.module import Module
+
+
+class ETSBRNN(Module):
+    """The enriched three-input architecture of Figure 5 (bottom part).
+
+    Parameters
+    ----------
+    char_vocab_size:
+        Character dictionary size including the pad slot.
+    attr_vocab_size:
+        Attribute dictionary size including the pad slot.
+    config:
+        Architecture widths.
+    rng:
+        Random generator for weight initialization.
+    """
+
+    def __init__(self, char_vocab_size: int, attr_vocab_size: int,
+                 config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        # Value branch (identical to TSB-RNN).
+        self.embedding = Embedding(char_vocab_size, config.char_embed_dim, rng)
+        self.birnn = BidirectionalRNN(config.char_embed_dim, config.value_units,
+                                      rng, num_layers=config.num_layers,
+                                      cell_type=config.cell_type)
+        # Attribute branch: embedding + 8-unit two-stacked BiRNN.
+        self.attr_embedding = Embedding(attr_vocab_size, config.attr_embed_dim,
+                                        rng, mask_zero=False)
+        self.attr_birnn = BidirectionalRNN(config.attr_embed_dim,
+                                           config.attr_units, rng,
+                                           num_layers=config.num_layers,
+                                           cell_type=config.cell_type)
+        # Length branch: dense 64 ReLU on the scalar ratio.
+        self.length_dense = Dense(1, config.length_dense_units, rng,
+                                  activation="relu")
+        combined = (self.birnn.output_dim + self.attr_birnn.output_dim
+                    + config.length_dense_units)
+        self.head = Dense(combined, config.head_units, rng, activation="relu")
+        self.norm = BatchNorm1d(config.head_units)
+        self.classifier = Dense(config.head_units, 2, rng, activation="softmax")
+
+    def forward(self, features: dict[str, np.ndarray]) -> Tensor:
+        """Classify each cell; returns ``(batch, 2)`` softmax probabilities.
+
+        Parameters
+        ----------
+        features:
+            ``values`` -- ``(batch, max_length)`` character indices;
+            ``attributes`` -- ``(batch,)`` attribute indices;
+            ``length_norm`` -- ``(batch, 1)`` length ratios.
+        """
+        for key in ("values", "attributes", "length_norm"):
+            if key not in features:
+                raise ConfigurationError(f"ETSBRNN requires a {key!r} feature")
+        indices = features["values"]
+        mask = self.embedding.padding_mask(indices)
+        if mask is not None and not mask.any(axis=1).all():
+            mask = mask.copy()
+            mask[~mask.any(axis=1), 0] = True
+        value_encoded = self.birnn(self.embedding(indices), mask=mask)
+
+        attr_indices = np.asarray(features["attributes"]).reshape(-1, 1)
+        attr_encoded = self.attr_birnn(self.attr_embedding(attr_indices))
+
+        length = Tensor(np.asarray(features["length_norm"], dtype=np.float64))
+        length_encoded = self.length_dense(length)
+
+        combined = concat([value_encoded, attr_encoded, length_encoded], axis=-1)
+        return self.classifier(self.norm(self.head(combined)))

@@ -1,0 +1,142 @@
+"""Saving and loading fitted detectors.
+
+A fitted :class:`~repro.models.detector.ErrorDetector` is more than its
+weights: prediction needs the character and attribute dictionaries and
+the padded sequence length from data preparation.  ``save_detector``
+packs all of it into a single ``.npz`` archive (weights as arrays,
+metadata as a JSON payload); ``load_detector`` reconstructs a detector
+that predicts identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataprep import PreparedData
+from repro.dataprep.dictionaries import AttributeDictionary, CharDictionary
+from repro.errors import DataError, NotFittedError
+from repro.models.config import ModelConfig
+from repro.models.detector import ErrorDetector, build_model
+from repro.table import Table
+
+_FORMAT_VERSION = 1
+
+
+def _dictionary_chars(char_index: CharDictionary) -> str:
+    """The characters in index order (index i+1 -> chars[i])."""
+    return "".join(char_index.char_of(i)
+                   for i in range(1, char_index.n_chars + 1))
+
+
+def save_detector(detector: ErrorDetector, path: str | Path) -> None:
+    """Serialise a fitted detector to an ``.npz`` archive.
+
+    Raises
+    ------
+    NotFittedError
+        When the detector has not been fitted.
+    """
+    if detector.model is None or detector.prepared is None:
+        raise NotFittedError("cannot save an unfitted detector")
+    prepared = detector.prepared
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "architecture": detector.architecture,
+        "model_config": asdict(detector.model_config),
+        "characters": _dictionary_chars(prepared.char_index),
+        "attributes": list(prepared.attributes),
+        "max_length": prepared.max_length,
+        "seed": detector.seed,
+    }
+    arrays = {
+        f"state:{name}": value
+        for name, value in detector.model.state_dict().items()
+    }
+    np.savez(Path(path), meta=json.dumps(meta), **arrays)
+
+
+def load_detector(path: str | Path) -> ErrorDetector:
+    """Reconstruct a detector saved with :func:`save_detector`.
+
+    The returned detector can :meth:`~repro.models.detector.ErrorDetector.predict`
+    and encode new values; it carries no training split (``evaluate`` is
+    unavailable -- re-fit for that).
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "meta" not in archive:
+            raise DataError(f"{path}: not a repro detector archive")
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise DataError(
+                f"{path}: unsupported format version {meta.get('format_version')}"
+            )
+        state = {
+            name[len("state:"):]: archive[name]
+            for name in archive.files if name.startswith("state:")
+        }
+
+    config = ModelConfig(**meta["model_config"])
+    detector = ErrorDetector(architecture=meta["architecture"],
+                             model_config=config, seed=meta["seed"])
+
+    char_index = CharDictionary([meta["characters"]])
+    attribute_index = AttributeDictionary(meta["attributes"])
+    # A minimal PreparedData carrying only what prediction needs: the
+    # dictionaries and sequence length (the df is an empty placeholder).
+    placeholder = Table({name: [] for name in
+                         ("id_", "attribute", "value_x", "value_y", "label",
+                          "empty", "concat", "length_norm")})
+    prepared = PreparedData(
+        df=placeholder,
+        attributes=tuple(meta["attributes"]),
+        char_index=char_index,
+        attribute_index=attribute_index,
+        max_length=int(meta["max_length"]),
+    )
+    rng = np.random.default_rng(meta["seed"])
+    model = build_model(meta["architecture"], prepared, config, rng)
+    model.load_state_dict(state)
+    model.eval()
+
+    detector.model = model
+    detector.prepared = prepared
+    from repro.nn import RMSprop, Trainer
+    from repro.models.detector import _loss
+    detector.trainer = Trainer(model=model,
+                               optimizer=RMSprop(model.parameters()),
+                               loss_fn=_loss)
+    return detector
+
+
+def encode_values_for(detector: ErrorDetector, values: list[str],
+                      attributes: list[str]) -> dict[str, np.ndarray]:
+    """Encode raw (value, attribute) pairs with a loaded detector's
+    dictionaries, producing a feature dict for ``detector.predict``.
+
+    Unknown characters are skipped (the detector never saw them, so
+    they carry no signal); overlong values are truncated.
+    """
+    if detector.prepared is None:
+        raise NotFittedError("detector carries no dictionaries")
+    prepared = detector.prepared
+    if len(values) != len(attributes):
+        raise DataError(
+            f"{len(values)} values but {len(attributes)} attributes"
+        )
+    n = len(values)
+    encoded = np.zeros((n, prepared.max_length), dtype=np.int64)
+    attr_idx = np.zeros(n, dtype=np.int64)
+    length_norm = np.zeros((n, 1))
+    for i, (value, attribute) in enumerate(zip(values, attributes)):
+        clipped = value[:prepared.max_length]
+        encoded[i] = prepared.char_index.encode(
+            clipped, prepared.max_length, unknown="skip")
+        attr_idx[i] = prepared.attribute_index.index_of(attribute)
+        length_norm[i, 0] = min(len(value) / prepared.max_length, 1.0)
+    return {"values": encoded, "attributes": attr_idx,
+            "length_norm": length_norm}

@@ -1,0 +1,68 @@
+"""TSB-RNN: the Two-Stacked Bidirectional RNN architecture (Section 4.3.1).
+
+Character indices -> embedding -> two-stacked bidirectional tanh RNN
+(64 units per direction) -> dense 32 ReLU -> batch norm -> dense 2
+softmax.  The output is the probability distribution over
+{correct, error} for one cell value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.nn import BatchNorm1d, BidirectionalRNN, Dense, Embedding
+from repro.nn.module import Module
+
+
+class TSBRNN(Module):
+    """The value-only architecture of Figure 5 (top part).
+
+    Parameters
+    ----------
+    char_vocab_size:
+        Character dictionary size including the pad slot.
+    config:
+        Architecture widths.
+    rng:
+        Random generator for weight initialization.
+    """
+
+    def __init__(self, char_vocab_size: int, config: ModelConfig,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.embedding = Embedding(char_vocab_size, config.char_embed_dim, rng)
+        self.birnn = BidirectionalRNN(config.char_embed_dim, config.value_units,
+                                      rng, num_layers=config.num_layers,
+                                      cell_type=config.cell_type)
+        self.head = Dense(self.birnn.output_dim, config.head_units, rng,
+                          activation="relu")
+        self.norm = BatchNorm1d(config.head_units)
+        self.classifier = Dense(config.head_units, 2, rng, activation="softmax")
+
+    def forward(self, features: dict[str, np.ndarray]) -> Tensor:
+        """Classify each cell; returns ``(batch, 2)`` softmax probabilities.
+
+        Parameters
+        ----------
+        features:
+            Must contain ``values``: ``(batch, max_length)`` padded
+            character indices.  Other keys are ignored, which lets the
+            same feature dicts feed both architectures.
+        """
+        if "values" not in features:
+            raise ConfigurationError("TSBRNN requires a 'values' feature")
+        indices = features["values"]
+        mask = self.embedding.padding_mask(indices)
+        if mask is not None and not mask.any(axis=1).all():
+            # Fully padded rows (empty cell values) would never update the
+            # RNN state; give them one live step so the final state is the
+            # learned response to "empty".
+            mask = mask.copy()
+            mask[~mask.any(axis=1), 0] = True
+        embedded = self.embedding(indices)
+        encoded = self.birnn(embedded, mask=mask)
+        return self.classifier(self.norm(self.head(encoded)))

@@ -1,0 +1,174 @@
+"""Keras-style training callbacks.
+
+:class:`BestWeightsCheckpoint` implements the paper's model-selection rule
+(Section 5.2): "After every epoch we saved the training weights if the
+computed loss of the trainset was less than in the previous epochs", and
+the best weights are restored for final evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+
+
+class Callback:
+    """Base class; hooks are no-ops unless overridden."""
+
+    def on_train_begin(self, model: Module) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, model: Module, epoch: int, logs: dict[str, float]) -> None:
+        """Called after every epoch with the epoch's metric logs."""
+
+    def on_train_end(self, model: Module) -> None:
+        """Called once after the last epoch."""
+
+    def stop_requested(self) -> bool:
+        """Whether training should halt after the current epoch."""
+        return False
+
+
+class History(Callback):
+    """Records every epoch's logs; drives the Figure 6/7 curves."""
+
+    def __init__(self) -> None:
+        self.epochs: list[int] = []
+        self.logs: dict[str, list[float]] = {}
+
+    def on_epoch_end(self, model: Module, epoch: int, logs: dict[str, float]) -> None:
+        self.epochs.append(epoch)
+        for key, value in logs.items():
+            self.logs.setdefault(key, []).append(value)
+
+    def series(self, key: str) -> list[float]:
+        """The per-epoch series for one metric."""
+        if key not in self.logs:
+            raise ConfigurationError(
+                f"no recorded metric {key!r}; available: {sorted(self.logs)}"
+            )
+        return list(self.logs[key])
+
+
+class BestWeightsCheckpoint(Callback):
+    """Keep the weights from the epoch with the best monitored metric.
+
+    Parameters
+    ----------
+    monitor:
+        Metric key from the epoch logs (default: training loss).
+    mode:
+        ``"min"`` (lower is better) or ``"max"``.
+    restore_on_end:
+        Restore the best snapshot when training finishes (the paper's
+        behaviour).
+    """
+
+    def __init__(self, monitor: str = "loss", mode: str = "min",
+                 restore_on_end: bool = True):
+        if mode not in ("min", "max"):
+            raise ConfigurationError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.monitor = monitor
+        self.mode = mode
+        self.restore_on_end = restore_on_end
+        self.best_value: float | None = None
+        self.best_epoch: int | None = None
+        self._best_state: dict[str, np.ndarray] | None = None
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "min":
+            return value < self.best_value
+        return value > self.best_value
+
+    def on_epoch_end(self, model: Module, epoch: int, logs: dict[str, float]) -> None:
+        if self.monitor not in logs:
+            raise ConfigurationError(
+                f"monitored metric {self.monitor!r} absent from logs {sorted(logs)}"
+            )
+        value = logs[self.monitor]
+        if self._improved(value):
+            self.best_value = value
+            self.best_epoch = epoch
+            self._best_state = model.state_dict()
+
+    def on_train_end(self, model: Module) -> None:
+        if self.restore_on_end and self._best_state is not None:
+            model.load_state_dict(self._best_state)
+
+    def restore(self, model: Module) -> None:
+        """Explicitly restore the best snapshot into ``model``."""
+        if self._best_state is None:
+            raise ConfigurationError("no snapshot recorded yet")
+        model.load_state_dict(self._best_state)
+
+
+class EarlyStopping(Callback):
+    """Stop training when the monitored metric stops improving."""
+
+    def __init__(self, monitor: str = "loss", mode: str = "min",
+                 patience: int = 10, min_delta: float = 0.0):
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if mode not in ("min", "max"):
+            raise ConfigurationError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.monitor = monitor
+        self.mode = mode
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_value: float | None = None
+        self._stale_epochs = 0
+        self._stop = False
+
+    def on_epoch_end(self, model: Module, epoch: int, logs: dict[str, float]) -> None:
+        value = logs.get(self.monitor)
+        if value is None:
+            return
+        if self.best_value is None:
+            improved = True
+        elif self.mode == "min":
+            improved = value < self.best_value - self.min_delta
+        else:
+            improved = value > self.best_value + self.min_delta
+        if improved:
+            self.best_value = value
+            self._stale_epochs = 0
+        else:
+            self._stale_epochs += 1
+            if self._stale_epochs >= self.patience:
+                self._stop = True
+
+    def stop_requested(self) -> bool:
+        return self._stop
+
+
+class EpochEvaluator(Callback):
+    """Injects extra metrics into each epoch's logs.
+
+    Used by the experiment harness to record test accuracy per epoch for
+    the Figure 6 and Figure 7 learning curves.
+
+    Parameters
+    ----------
+    evaluate:
+        Zero-argument callable returning ``{metric_name: value}``; invoked
+        after every epoch with the model in its current state.
+    """
+
+    def __init__(self, evaluate: Callable[[], dict[str, float]]):
+        self._evaluate = evaluate
+
+    def on_epoch_end(self, model: Module, epoch: int, logs: dict[str, float]) -> None:
+        was_training = model.training
+        model.eval()
+        try:
+            logs.update(self._evaluate())
+        finally:
+            if was_training:
+                model.train()

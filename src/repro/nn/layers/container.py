@@ -1,0 +1,36 @@
+"""Sequential container: chains layers whose forward takes one tensor."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Apply child modules in order.
+
+    Parameters
+    ----------
+    layers:
+        Modules applied left to right; each must accept the previous
+        module's output as its sole argument.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        if not layers:
+            raise ConfigurationError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Feed ``x`` through every layer in order."""
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,67 @@
+"""Fully connected layer with optional activation."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.autograd import Tensor, relu, sigmoid, softmax, tanh
+from repro.errors import ConfigurationError
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.module import Module, Parameter
+
+_ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "linear": lambda x: x,
+    "relu": relu,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+    "softmax": softmax,
+}
+
+
+class Dense(Module):
+    """``y = activation(x @ W + b)``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output width.
+    rng:
+        Random generator for Glorot initialization.
+    activation:
+        One of ``linear``, ``relu``, ``tanh``, ``sigmoid``, ``softmax``.
+    use_bias:
+        Include the additive bias term.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, activation: str = "linear",
+                 use_bias: bool = True):
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ConfigurationError(
+                f"unknown activation {activation!r}; available: {sorted(_ACTIVATIONS)}"
+            )
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError(
+                f"feature counts must be >= 1, got {in_features}, {out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation_name = activation
+        self._activation = _ACTIVATIONS[activation]
+        self.kernel = Parameter(glorot_uniform(rng, (in_features, out_features)),
+                                name="dense.kernel")
+        self.bias = Parameter(zeros((out_features,)), name="dense.bias") if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map and activation to the last dimension of x."""
+        if x.shape[-1] != self.in_features:
+            raise ConfigurationError(
+                f"Dense expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        out = x @ self.kernel
+        if self.bias is not None:
+            out = out + self.bias
+        return self._activation(out)

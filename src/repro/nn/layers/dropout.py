@@ -1,0 +1,42 @@
+"""Inverted dropout regularisation.
+
+Not part of the paper's published architectures, but provided for the
+ablation benchmarks and as a standard tool for users extending the models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Randomly zero a fraction of activations during training.
+
+    Uses inverted scaling so that eval mode is the identity.
+
+    Parameters
+    ----------
+    rate:
+        Fraction of activations to drop, in ``[0, 1)``.
+    rng:
+        Random generator for the drop masks.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply dropout in training mode; identity in eval mode."""
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,72 @@
+"""Batch normalisation (Ioffe & Szegedy), used before the final softmax.
+
+Section 4.3.1: "At the end there is a batch normalization to standardize
+the input to the softmax."  Training mode normalises with batch statistics
+and updates exponential running averages; eval mode uses the running
+averages, so single-sample prediction is well defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm1d(Module):
+    """Normalise features over the batch dimension.
+
+    Parameters
+    ----------
+    num_features:
+        Width of the feature dimension (last axis).
+    momentum:
+        Weight of the new batch statistics in the running averages.
+    epsilon:
+        Variance floor for numerical stability.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 epsilon: float = 1e-5):
+        super().__init__()
+        if num_features < 1:
+            raise ConfigurationError(f"num_features must be >= 1, got {num_features}")
+        if not 0.0 < momentum <= 1.0:
+            raise ConfigurationError(f"momentum must be in (0, 1], got {momentum}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.gamma = Parameter(np.ones(num_features), name="batchnorm.gamma")
+        self.beta = Parameter(np.zeros(num_features), name="batchnorm.beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalise ``x`` of shape ``(batch, num_features)``."""
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ConfigurationError(
+                f"BatchNorm1d expected (batch, {self.num_features}), got {x.shape}"
+            )
+        if self.training:
+            batch_mean = x.data.mean(axis=0)
+            batch_var = x.data.var(axis=0)
+            self.set_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.buffer("running_mean")
+                + self.momentum * batch_mean,
+            )
+            self.set_buffer(
+                "running_var",
+                (1 - self.momentum) * self.buffer("running_var")
+                + self.momentum * batch_var,
+            )
+            centered = x - x.mean(axis=0, keepdims=True)
+            variance = (centered * centered).mean(axis=0, keepdims=True)
+            normalised = centered / (variance + self.epsilon) ** 0.5
+        else:
+            mean = Tensor(self.buffer("running_mean"))
+            std = Tensor(np.sqrt(self.buffer("running_var") + self.epsilon))
+            normalised = (x - mean) / std
+        return normalised * self.gamma + self.beta

@@ -1,0 +1,178 @@
+"""Module and Parameter: the building blocks of the layer library.
+
+A :class:`Module` owns :class:`Parameter` tensors and child modules, found
+automatically through attribute assignment.  ``state_dict`` /
+``load_state_dict`` snapshot and restore all parameters and persistent
+buffers; the training loop uses them for the paper's
+restore-best-train-loss checkpointing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data: Any, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter`, buffer arrays (via
+    :meth:`register_buffer`) and child :class:`Module` instances as
+    attributes; discovery is automatic.
+    """
+
+    def __init__(self) -> None:
+        self._training = True
+        self._buffers: dict[str, np.ndarray] = {}
+
+    # -- forward ------------------------------------------------------------
+
+    def forward(self, *args: Any, **kwargs: Any) -> Any:
+        """Compute the layer's output; subclasses must override."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.forward(*args, **kwargs)
+
+    # -- traversal -----------------------------------------------------------
+
+    def named_children(self) -> Iterator[tuple[str, Module]]:
+        """Immediate child modules as ``(attribute_name, module)``."""
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """All parameters of this module and its descendants."""
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield f"{prefix}{name}", value
+        for child_name, child in self.named_children():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters as a flat list."""
+        return [p for _, p in self.named_parameters()]
+
+    def n_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(p.size for p in self.parameters())
+
+    # -- buffers (non-trainable persistent state, e.g. batch-norm stats) -------
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register persistent non-trainable state included in state dicts."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+
+    def buffer(self, name: str) -> np.ndarray:
+        """Fetch a registered buffer."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no buffer {name!r}"
+            ) from None
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace a registered buffer's contents."""
+        if name not in self._buffers:
+            raise ConfigurationError(f"{type(self).__name__} has no buffer {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """All buffers of this module and its descendants."""
+        for name, value in self._buffers.items():
+            yield f"{prefix}{name}", value
+        for child_name, child in self.named_children():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # -- train / eval mode --------------------------------------------------------
+
+    @property
+    def training(self) -> bool:
+        """Whether the module is in training mode."""
+        return self._training
+
+    def train(self) -> Module:
+        """Switch this module and all descendants to training mode."""
+        self._training = True
+        for _, child in self.named_children():
+            child.train()
+        return self
+
+    def eval(self) -> Module:
+        """Switch this module and all descendants to inference mode."""
+        self._training = False
+        for _, child in self.named_children():
+            child.eval()
+        return self
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters and buffers, keyed by dotted path."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters and buffers from :meth:`state_dict` output.
+
+        Raises
+        ------
+        ConfigurationError
+            On missing/unexpected keys or shape mismatches.
+        """
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        expected = set(params) | {f"buffer:{n}" for n in buffers}
+        if set(state) != expected:
+            missing = expected - set(state)
+            unexpected = set(state) - expected
+            raise ConfigurationError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = state[name]
+            if value.shape != param.data.shape:
+                raise ConfigurationError(
+                    f"shape mismatch for {name!r}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+        self._load_buffers(state)
+
+    def _load_buffers(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        for name in list(self._buffers):
+            key = f"buffer:{prefix}{name}"
+            if key in state:
+                self._buffers[name] = state[key].copy()
+        for child_name, child in self.named_children():
+            child._load_buffers(state, prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def __repr__(self) -> str:
+        children = ", ".join(name for name, _ in self.named_children())
+        return f"{type(self).__name__}({children})" if children else f"{type(self).__name__}()"

@@ -1,0 +1,136 @@
+"""Gradient-descent optimizers.
+
+The paper trains with RMSprop (Section 5.2); SGD-with-momentum and Adam
+are provided for the ablation benchmarks and general use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Parameter
+
+
+def clip_gradients(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Parameters without gradients are
+    skipped.  Clipping keeps long tanh-RNN sequences from blowing up on
+    rare pathological batches.
+    """
+    if max_norm <= 0:
+        raise ConfigurationError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float((param.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in parameters:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the update entry point."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        params = list(parameters)
+        if not params:
+            raise ConfigurationError("optimizer received no parameters")
+        self.parameters = params
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        """Apply one update using the parameters' current gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.01,
+                 momentum: float = 0.0):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * param.grad
+            param.data += velocity
+
+
+class RMSprop(Optimizer):
+    """RMSprop (the paper's optimizer).
+
+    Keeps an exponential moving average of squared gradients and divides
+    the step by its root, with Keras-default hyperparameters.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.001,
+                 rho: float = 0.9, epsilon: float = 1e-7):
+        super().__init__(parameters, learning_rate)
+        if not 0.0 < rho < 1.0:
+            raise ConfigurationError(f"rho must be in (0, 1), got {rho}")
+        self.rho = rho
+        self.epsilon = epsilon
+        self._mean_square = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, mean_square in zip(self.parameters, self._mean_square):
+            if param.grad is None:
+                continue
+            mean_square *= self.rho
+            mean_square += (1.0 - self.rho) * param.grad ** 2
+            param.data -= (self.learning_rate * param.grad
+                           / (np.sqrt(mean_square) + self.epsilon))
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.001,
+                 beta1: float = 0.9, beta2: float = 0.999, epsilon: float = 1e-8):
+        super().__init__(parameters, learning_rate)
+        for name, beta in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= beta < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {beta}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._moment1 = [np.zeros_like(p.data) for p in self.parameters]
+        self._moment2 = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1 ** self._step_count
+        correction2 = 1.0 - self.beta2 ** self._step_count
+        for param, m1, m2 in zip(self.parameters, self._moment1, self._moment2):
+            if param.grad is None:
+                continue
+            m1 *= self.beta1
+            m1 += (1.0 - self.beta1) * param.grad
+            m2 *= self.beta2
+            m2 += (1.0 - self.beta2) * param.grad ** 2
+            m1_hat = m1 / correction1
+            m2_hat = m2 / correction2
+            param.data -= self.learning_rate * m1_hat / (np.sqrt(m2_hat) + self.epsilon)

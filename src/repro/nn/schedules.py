@@ -1,0 +1,112 @@
+"""Learning-rate schedules.
+
+The paper trains with a fixed RMSprop rate; these schedules support the
+extension experiments (longer runs on the bigger synthetic datasets
+benefit from decay) and round out the optimizer toolkit.  A schedule is
+attached to an optimizer and stepped once per epoch, mutating
+``optimizer.learning_rate`` in place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.nn.callbacks import Callback
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+
+
+class Schedule:
+    """Base class: maps an epoch index to a learning rate."""
+
+    def __init__(self, base_rate: float):
+        if base_rate <= 0:
+            raise ConfigurationError(f"base_rate must be positive, got {base_rate}")
+        self.base_rate = base_rate
+
+    def rate_at(self, epoch: int) -> float:
+        """Learning rate for the given (0-based) epoch."""
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """The paper's behaviour: a fixed rate."""
+
+    def rate_at(self, epoch: int) -> float:
+        return self.base_rate
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``factor`` every ``step_epochs`` epochs."""
+
+    def __init__(self, base_rate: float, factor: float = 0.5,
+                 step_epochs: int = 30):
+        super().__init__(base_rate)
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(f"factor must be in (0, 1], got {factor}")
+        if step_epochs < 1:
+            raise ConfigurationError(f"step_epochs must be >= 1, got {step_epochs}")
+        self.factor = factor
+        self.step_epochs = step_epochs
+
+    def rate_at(self, epoch: int) -> float:
+        return self.base_rate * self.factor ** (epoch // self.step_epochs)
+
+
+class ExponentialDecay(Schedule):
+    """``rate = base * exp(-decay * epoch)``."""
+
+    def __init__(self, base_rate: float, decay: float = 0.01):
+        super().__init__(base_rate)
+        if decay < 0:
+            raise ConfigurationError(f"decay must be >= 0, got {decay}")
+        self.decay = decay
+
+    def rate_at(self, epoch: int) -> float:
+        return self.base_rate * math.exp(-self.decay * epoch)
+
+
+class CosineAnnealing(Schedule):
+    """Cosine decay from ``base_rate`` to ``min_rate`` over ``total_epochs``."""
+
+    def __init__(self, base_rate: float, total_epochs: int,
+                 min_rate: float = 0.0):
+        super().__init__(base_rate)
+        if total_epochs < 1:
+            raise ConfigurationError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_rate < 0 or min_rate > base_rate:
+            raise ConfigurationError(
+                f"min_rate must be in [0, base_rate], got {min_rate}"
+            )
+        self.total_epochs = total_epochs
+        self.min_rate = min_rate
+
+    def rate_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_rate + (self.base_rate - self.min_rate) * cosine
+
+
+class LearningRateScheduler(Callback):
+    """Training callback applying a schedule to an optimizer per epoch.
+
+    The rate for epoch ``e`` is applied *before* epoch ``e`` runs (via
+    ``on_train_begin`` for epoch 0 and ``on_epoch_end`` of ``e - 1``).
+    """
+
+    def __init__(self, optimizer: Optimizer, schedule: Schedule):
+        self.optimizer = optimizer
+        self.schedule = schedule
+        self.history: list[float] = []
+
+    def on_train_begin(self, model: Module) -> None:
+        self.optimizer.learning_rate = self.schedule.rate_at(0)
+        self.history = [self.optimizer.learning_rate]
+
+    def on_epoch_end(self, model: Module, epoch: int,
+                     logs: dict[str, float]) -> None:
+        logs["learning_rate"] = self.optimizer.learning_rate
+        next_rate = self.schedule.rate_at(epoch + 1)
+        self.optimizer.learning_rate = next_rate
+        self.history.append(next_rate)

@@ -1,0 +1,151 @@
+"""The training loop.
+
+Works with multi-input models: a training example is a dict of named
+feature arrays (the paper's models take up to three inputs -- character
+indices, attribute index and normalised length) plus integer labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.errors import ConfigurationError
+from repro.nn.callbacks import Callback, History
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer, clip_gradients
+
+Features = dict[str, np.ndarray]
+
+
+@dataclass
+class Batch:
+    """One mini-batch of features and labels."""
+
+    features: Features
+    labels: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of examples in the batch."""
+        return int(self.labels.shape[0])
+
+
+def _validate(features: Mapping[str, np.ndarray], labels: np.ndarray) -> int:
+    if not features:
+        raise ConfigurationError("training requires at least one feature array")
+    lengths = {name: arr.shape[0] for name, arr in features.items()}
+    n = labels.shape[0]
+    for name, length in lengths.items():
+        if length != n:
+            raise ConfigurationError(
+                f"feature {name!r} has {length} rows but labels have {n}"
+            )
+    if n == 0:
+        raise ConfigurationError("training set is empty")
+    return n
+
+
+def iterate_batches(features: Mapping[str, np.ndarray], labels: np.ndarray,
+                    batch_size: int, rng: np.random.Generator | None = None):
+    """Yield :class:`Batch` objects, optionally in shuffled order."""
+    n = _validate(features, labels)
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        index = order[start:start + batch_size]
+        yield Batch(
+            features={name: arr[index] for name, arr in features.items()},
+            labels=labels[index],
+        )
+
+
+@dataclass
+class Trainer:
+    """Gradient-descent trainer with callbacks.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.module.Module` whose ``forward(features)``
+        maps a feature dict to class probabilities ``(batch, n_classes)``.
+    optimizer:
+        Update rule over ``model.parameters()``.
+    loss_fn:
+        ``loss_fn(probabilities, labels) -> scalar Tensor``.
+    max_grad_norm:
+        Global-norm gradient clipping threshold (``None`` disables).
+    rng:
+        Generator for batch shuffling.
+    callbacks:
+        Extra callbacks; a :class:`History` is always appended and exposed
+        as :attr:`history`.
+    """
+
+    model: Module
+    optimizer: Optimizer
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor]
+    max_grad_norm: float | None = 5.0
+    rng: np.random.Generator | None = None
+    callbacks: Sequence[Callback] = field(default_factory=tuple)
+    history: History = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.history = History()
+        self._all_callbacks: list[Callback] = list(self.callbacks) + [self.history]
+
+    def fit(self, features: Features, labels: np.ndarray, epochs: int,
+            batch_size: int) -> History:
+        """Train for ``epochs`` passes over the data; returns the history."""
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        labels = np.asarray(labels)
+        _validate(features, labels)
+        self.model.train()
+        for callback in self._all_callbacks:
+            callback.on_train_begin(self.model)
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            examples = 0
+            for batch in iterate_batches(features, labels, batch_size, rng=self.rng):
+                self.optimizer.zero_grad()
+                outputs = self.model(batch.features)
+                loss = self.loss_fn(outputs, batch.labels)
+                loss.backward()
+                if self.max_grad_norm is not None:
+                    clip_gradients(self.model.parameters(), self.max_grad_norm)
+                self.optimizer.step()
+                epoch_loss += loss.item() * batch.size
+                examples += batch.size
+            logs = {"loss": epoch_loss / examples}
+            for callback in self._all_callbacks:
+                callback.on_epoch_end(self.model, epoch, logs)
+            if any(cb.stop_requested() for cb in self._all_callbacks):
+                break
+        for callback in self._all_callbacks:
+            callback.on_train_end(self.model)
+        return self.history
+
+    def predict_proba(self, features: Features, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities in eval mode, without recording gradients."""
+        self.model.eval()
+        return predict_proba(self.model, features, batch_size=batch_size)
+
+
+def predict_proba(model: Module, features: Features,
+                  batch_size: int = 256) -> np.ndarray:
+    """Run ``model`` over ``features`` in chunks; returns ``(n, n_classes)``."""
+    n = _validate(features, np.zeros(next(iter(features.values())).shape[0]))
+    outputs: list[np.ndarray] = []
+    with no_grad():
+        for start in range(0, n, batch_size):
+            chunk = {name: arr[start:start + batch_size]
+                     for name, arr in features.items()}
+            outputs.append(model(chunk).numpy())
+    return np.concatenate(outputs, axis=0)

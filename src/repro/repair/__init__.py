@@ -1,0 +1,38 @@
+"""Error repair: the paper's "ultimate goal" (Section 6).
+
+The conclusion names integration with HoloClean/Baran-style repair as
+future work: "The ultimate goal, however, is not only to detect errors
+but also to correct them."  This subpackage provides a pragmatic repair
+layer over any per-cell error mask (from ETSB-RNN, the Raha baseline, or
+ground truth):
+
+* :class:`MajorityGroupRepairer` -- replace a flagged cell with the
+  majority value of its duplicate-record or FD group (the Flights /
+  Hospital repair);
+* :class:`FormatRepairer` -- re-format a flagged value into the
+  column's dominant character pattern where a safe transformation
+  exists (strip suffixes/thousands separators, re-pad leading zeros);
+* :class:`FrequentValueRepairer` -- fall back to the column's most
+  frequent value in low-cardinality (categorical) columns;
+* :class:`RepairPipeline` -- chain repairers, apply the first confident
+  suggestion per cell, and report repair accuracy against a clean table.
+"""
+
+from repro.repair.repairers import (
+    FormatRepairer,
+    FrequentValueRepairer,
+    MajorityGroupRepairer,
+    Repair,
+    Repairer,
+)
+from repro.repair.pipeline import RepairPipeline, repair_accuracy
+
+__all__ = [
+    "Repair",
+    "Repairer",
+    "MajorityGroupRepairer",
+    "FormatRepairer",
+    "FrequentValueRepairer",
+    "RepairPipeline",
+    "repair_accuracy",
+]

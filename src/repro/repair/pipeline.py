@@ -1,0 +1,99 @@
+"""The repair pipeline: apply ranked repair suggestions to flagged cells."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.repair.repairers import Repair, Repairer
+from repro.table import Table
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """Result of running the pipeline over a table."""
+
+    repaired: Table
+    applied: tuple[Repair, ...]
+    unrepaired: tuple[tuple[int, str], ...]
+
+    @property
+    def n_applied(self) -> int:
+        """Number of cells changed."""
+        return len(self.applied)
+
+
+class RepairPipeline:
+    """Chain of repairers applied to a per-cell error mask.
+
+    For every flagged cell each repairer may propose a repair; the
+    highest-confidence proposal above ``min_confidence`` wins.  Cells
+    without a confident proposal are left unchanged and reported in
+    :attr:`RepairOutcome.unrepaired` (a repair system must know what it
+    could not fix).
+
+    Parameters
+    ----------
+    repairers:
+        Ordered repairers; order breaks confidence ties.
+    min_confidence:
+        Proposals below this confidence are discarded.
+    """
+
+    def __init__(self, repairers: Sequence[Repairer],
+                 min_confidence: float = 0.5):
+        if not repairers:
+            raise DataError("RepairPipeline needs at least one repairer")
+        self.repairers = list(repairers)
+        self.min_confidence = min_confidence
+
+    def run(self, dirty: Table, error_mask: np.ndarray) -> RepairOutcome:
+        """Fit the repairers on ``dirty`` and repair the flagged cells."""
+        error_mask = np.asarray(error_mask, dtype=bool)
+        if error_mask.shape != dirty.shape:
+            raise DataError(
+                f"error mask shape {error_mask.shape} does not match "
+                f"table shape {dirty.shape}"
+            )
+        for repairer in self.repairers:
+            repairer.fit(dirty)
+
+        columns = {name: list(dirty.column(name).values)
+                   for name in dirty.column_names}
+        applied: list[Repair] = []
+        unrepaired: list[tuple[int, str]] = []
+        for j, attribute in enumerate(dirty.column_names):
+            for i in np.where(error_mask[:, j])[0]:
+                value = columns[attribute][i]
+                value = "" if value is None else str(value)
+                proposals = [
+                    p for p in (r.suggest(int(i), attribute, value)
+                                for r in self.repairers)
+                    if p is not None and p.confidence >= self.min_confidence
+                ]
+                if not proposals:
+                    unrepaired.append((int(i), attribute))
+                    continue
+                best = max(proposals, key=lambda p: p.confidence)
+                columns[attribute][i] = best.new_value
+                applied.append(best)
+        return RepairOutcome(
+            repaired=Table(columns),
+            applied=tuple(applied),
+            unrepaired=tuple(unrepaired),
+        )
+
+
+def repair_accuracy(outcome: RepairOutcome, clean: Table) -> float:
+    """Fraction of applied repairs that produced the ground-truth value."""
+    if not outcome.applied:
+        return 0.0
+    correct = sum(
+        1 for repair in outcome.applied
+        if str(clean.column(repair.attribute)[repair.row]).lstrip()
+        == repair.new_value
+    )
+    return correct / len(outcome.applied)

@@ -1,0 +1,218 @@
+"""Individual repair strategies.
+
+Each repairer proposes a :class:`Repair` for a flagged cell or abstains
+(returns ``None``).  Repairers are fitted on the *dirty* table only --
+at repair time no clean table exists; the clean table is used solely to
+score repairs afterwards.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.baselines.strategies import character_pattern
+from repro.errors import DataError
+from repro.table import Table
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A proposed cell repair."""
+
+    row: int
+    attribute: str
+    old_value: str
+    new_value: str
+    repairer: str
+    confidence: float
+
+
+class Repairer:
+    """Base class: fit on the dirty table, then suggest cell repairs."""
+
+    name = "repairer"
+
+    def fit(self, dirty: Table) -> "Repairer":
+        """Learn column statistics from the dirty table."""
+        raise NotImplementedError
+
+    def suggest(self, row: int, attribute: str, value: str) -> Repair | None:
+        """Propose a repair for one flagged cell, or abstain."""
+        raise NotImplementedError
+
+
+class MajorityGroupRepairer(Repairer):
+    """Repair from the majority value of the cell's record group.
+
+    Groups rows by the given key columns (a discovered record key or FD
+    determinant); a flagged cell in a multi-row group is repaired to the
+    group's majority value for that column.  This is the fusion repair
+    the paper sketches for Flights.
+    """
+
+    name = "majority_group"
+
+    def __init__(self, key_columns: tuple[str, ...]):
+        if not key_columns:
+            raise DataError("key_columns must not be empty")
+        self.key_columns = tuple(key_columns)
+        self._majorities: dict[tuple, dict[str, tuple[str, float]]] = {}
+        self._row_keys: list[tuple] = []
+
+    def fit(self, dirty: Table) -> "MajorityGroupRepairer":
+        from repro.dedup.groups import DuplicateGroups
+        groups = DuplicateGroups(dirty, self.key_columns)
+        self._majorities = {}
+        for key, indices in groups.groups().items():
+            if len(indices) < 2:
+                continue
+            per_column: dict[str, tuple[str, float]] = {}
+            for name in dirty.column_names:
+                if name in self.key_columns:
+                    continue
+                counts: dict[str, int] = {}
+                for i in indices:
+                    value = dirty.column(name)[i]
+                    if value in (None, ""):
+                        continue
+                    counts[str(value)] = counts.get(str(value), 0) + 1
+                if counts:
+                    winner = max(counts, key=counts.get)
+                    per_column[name] = (winner, counts[winner] / len(indices))
+            self._majorities[key] = per_column
+        key_cols = [dirty.column(c).values for c in self.key_columns]
+        self._row_keys = [tuple(col[i] for col in key_cols)
+                          for i in range(dirty.n_rows)]
+        return self
+
+    def suggest(self, row: int, attribute: str, value: str) -> Repair | None:
+        key = self._row_keys[row] if row < len(self._row_keys) else None
+        per_column = self._majorities.get(key, {})
+        if attribute not in per_column:
+            return None
+        majority, share = per_column[attribute]
+        if majority == value:
+            return None  # the cell already holds the majority value
+        return Repair(row=row, attribute=attribute, old_value=value,
+                      new_value=majority, repairer=self.name,
+                      confidence=share)
+
+
+class FormatRepairer(Repairer):
+    """Re-format a value into its column's dominant character pattern.
+
+    Learns the majority :func:`character_pattern` per column and applies
+    safe, invertible transformations to flagged cells whose pattern
+    deviates: dropping thousands separators, stripping a trailing
+    non-numeric suffix from a numeric column, removing a trailing
+    ``".0"``, or re-padding leading zeros to the column's modal length.
+    """
+
+    name = "format"
+
+    def __init__(self, min_pattern_share: float = 0.5,
+                 fixed_length_share: float = 0.9):
+        self.min_pattern_share = min_pattern_share
+        self.fixed_length_share = fixed_length_share
+        self._dominant_pattern: dict[str, str] = {}
+        self._modal_length: dict[str, int] = {}
+        self._fixed_length: dict[str, int] = {}
+
+    def fit(self, dirty: Table) -> "FormatRepairer":
+        for name in dirty.column_names:
+            values = [str(v) for v in dirty.column(name).values
+                      if v not in (None, "")]
+            if not values:
+                continue
+            pattern_counts: dict[str, int] = {}
+            for value in values:
+                pattern = character_pattern(value)
+                pattern_counts[pattern] = pattern_counts.get(pattern, 0) + 1
+            dominant = max(pattern_counts, key=pattern_counts.get)
+            if pattern_counts[dominant] / len(values) >= self.min_pattern_share:
+                self._dominant_pattern[name] = dominant
+            length_counts: dict[int, int] = {}
+            for value in values:
+                length_counts[len(value)] = length_counts.get(len(value), 0) + 1
+            modal = max(length_counts, key=length_counts.get)
+            self._modal_length[name] = modal
+            # Columns where nearly every value shares one length (ZIP
+            # codes, state codes): a shorter digit value is a stripped
+            # leading zero even though its character pattern conforms.
+            if length_counts[modal] / len(values) >= self.fixed_length_share:
+                self._fixed_length[name] = modal
+        return self
+
+    def _transformations(self, value: str, attribute: str):
+        yield value.replace(",", "")                     # '379,998' -> '379998'
+        match = re.match(r"^([\d.]+)\s*\D+$", value)
+        if match:
+            yield match.group(1)                         # '12.0 oz' -> '12.0'
+        if value.endswith(".0"):
+            yield value[:-2]                             # '8.0' -> '8'
+        if value.endswith("%"):
+            yield value[:-1]                             # '0.061%' -> '0.061'
+        modal = self._modal_length.get(attribute, 0)
+        if value.isdigit() and len(value) < modal:
+            yield value.zfill(modal)                     # '1907' -> '01907'
+
+    def suggest(self, row: int, attribute: str, value: str) -> Repair | None:
+        dominant = self._dominant_pattern.get(attribute)
+        if not value or dominant is None:
+            return None
+        if character_pattern(value) == dominant:
+            # Pattern conforms, but a short digit value in a fixed-length
+            # column is a stripped leading zero ('1907' in a ZIP column).
+            fixed = self._fixed_length.get(attribute)
+            if fixed and value.isdigit() and len(value) < fixed:
+                return Repair(row=row, attribute=attribute, old_value=value,
+                              new_value=value.zfill(fixed),
+                              repairer=self.name, confidence=0.8)
+            return None
+        for candidate in self._transformations(value, attribute):
+            if candidate != value and character_pattern(candidate) == dominant:
+                return Repair(row=row, attribute=attribute, old_value=value,
+                              new_value=candidate, repairer=self.name,
+                              confidence=0.9)
+        return None
+
+
+class FrequentValueRepairer(Repairer):
+    """Fallback: the most frequent value of a low-cardinality column.
+
+    Only meaningful for categorical domains (states, booleans); columns
+    whose distinct-value ratio exceeds ``max_cardinality_ratio`` are
+    skipped, and the suggestion's confidence is the value's share.
+    """
+
+    name = "frequent_value"
+
+    def __init__(self, max_cardinality_ratio: float = 0.1):
+        self.max_cardinality_ratio = max_cardinality_ratio
+        self._most_frequent: dict[str, tuple[str, float]] = {}
+
+    def fit(self, dirty: Table) -> "FrequentValueRepairer":
+        for name in dirty.column_names:
+            values = [str(v) for v in dirty.column(name).values
+                      if v not in (None, "")]
+            if not values:
+                continue
+            counts: dict[str, int] = {}
+            for value in values:
+                counts[value] = counts.get(value, 0) + 1
+            if len(counts) / len(values) > self.max_cardinality_ratio:
+                continue
+            winner = max(counts, key=counts.get)
+            self._most_frequent[name] = (winner, counts[winner] / len(values))
+        return self
+
+    def suggest(self, row: int, attribute: str, value: str) -> Repair | None:
+        if attribute not in self._most_frequent:
+            return None
+        winner, share = self._most_frequent[attribute]
+        if winner == value:
+            return None
+        return Repair(row=row, attribute=attribute, old_value=value,
+                      new_value=winner, repairer=self.name,
+                      confidence=share * 0.5)  # a weak prior, ranked last

@@ -1,0 +1,17 @@
+"""Trainset-selection algorithms (Section 4.2).
+
+Three ways of choosing the 20 tuples the user is asked to label:
+
+* :class:`RandomSet` -- Algorithm 1, uniform random tuples (baseline);
+* :class:`RahaSet` -- Algorithm 2, cluster-diverse sampling following
+  Raha's label-propagation design (built on :mod:`repro.baselines.raha`);
+* :class:`DiverSet` -- Algorithm 3, the paper's novel sampler maximising
+  unseen attribute values with an empty-value tie-break.
+"""
+
+from repro.sampling.base import Sampler
+from repro.sampling.diverset import DiverSet
+from repro.sampling.raha_set import RahaSet
+from repro.sampling.random_set import RandomSet
+
+__all__ = ["Sampler", "RandomSet", "RahaSet", "DiverSet"]

@@ -1,0 +1,84 @@
+"""Algorithm 3 (DiverSet): the paper's novel diverse trainset selection.
+
+Greedy selection of tuples that contribute the most *unseen* attribute
+values.  Per iteration:
+
+1. among the remaining (not-yet-seen) cell rows, count per tuple the
+   number of unseen attribute values (``#unseenAttr``) and the number of
+   empty values (``#empty``);
+2. keep the tuples with maximal ``#unseenAttr``; among those, keep the
+   ones with maximal ``#empty``; pick one uniformly at random;
+3. add every ``concat`` value (``attribute__value``) of the chosen tuple
+   to the seen set and delete all remaining rows whose ``concat`` is now
+   seen.
+
+If the remaining rows run out before ``n_obs`` tuples are chosen (every
+attribute value already seen), the algorithm falls back to uniform random
+selection among the not-yet-chosen tuples -- the paper's step 2 tie-break
+generalised to the fully-exhausted case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataprep.pipeline import PreparedData
+from repro.sampling.base import Sampler
+
+
+class DiverSet(Sampler):
+    """The paper's Algorithm 3."""
+
+    name = "DiverSet"
+
+    def select(self, n_obs: int, prepared: PreparedData,
+               rng: np.random.Generator) -> list[int]:
+        available = self._validate(n_obs, prepared)
+        df = prepared.df
+        ids = [int(v) for v in df.column("id_").values]
+        empties = [int(v) for v in df.column("empty").values]
+        concats = list(df.column("concat").values)
+
+        # rows_by_id: for each tuple, its (concat, empty) cell pairs.
+        rows_by_id: dict[int, list[tuple[str, int]]] = {}
+        for tid, concat, empty in zip(ids, concats, empties):
+            rows_by_id.setdefault(tid, []).append((concat, empty))
+
+        selected: list[int] = []
+        selected_set: set[int] = set()
+        seen_concats: set[str] = set()
+
+        for _ in range(n_obs):
+            best_ids: list[int] = []
+            best_key: tuple[int, int] | None = None
+            for tid, cells in rows_by_id.items():
+                if tid in selected_set:
+                    continue
+                unseen = 0
+                empty_count = 0
+                for concat, empty in cells:
+                    if concat not in seen_concats:
+                        unseen += 1
+                        empty_count += empty
+                if unseen == 0:
+                    continue  # tuple fully covered; nothing new to learn
+                key = (unseen, empty_count)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_ids = [tid]
+                elif key == best_key:
+                    best_ids.append(tid)
+
+            if not best_ids:
+                # All attribute values are already covered: fall back to
+                # uniform random among the remaining tuples.
+                remaining = [t for t in available if t not in selected_set]
+                chosen = remaining[int(rng.integers(len(remaining)))]
+            else:
+                chosen = best_ids[int(rng.integers(len(best_ids)))]
+
+            selected.append(chosen)
+            selected_set.add(chosen)
+            for concat, _ in rows_by_id[chosen]:
+                seen_concats.add(concat)
+        return selected

@@ -1,0 +1,50 @@
+"""Algorithm 2 (RahaSet): cluster-diverse sampling following Raha.
+
+Runs the Raha-style pipeline (strategies -> features -> per-column
+clustering) on the dirty values and greedily samples tuples whose cells
+cover the largest number of still-unlabelled clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.raha import RahaDetector
+from repro.dataprep.pipeline import PreparedData
+from repro.sampling.base import Sampler
+from repro.table import Table
+
+
+def dirty_wide_view(prepared: PreparedData) -> Table:
+    """Reconstruct the wide dirty table from the long-format cell table.
+
+    The sampler must only see ``value_x``; this pivots the prepared long
+    table back to one row per tuple in original attribute order.
+    """
+    wide = prepared.df.pivot("id_", "attribute", "value_x",
+                             column_order=prepared.attributes)
+    return wide.drop(["id_"])
+
+
+class RahaSet(Sampler):
+    """The paper's Algorithm 2, built on :class:`RahaDetector`.
+
+    Parameters
+    ----------
+    clusters_per_label:
+        Passed through to the detector; controls clustering granularity.
+    """
+
+    name = "RahaSet"
+
+    def __init__(self, clusters_per_label: int = 2):
+        self.clusters_per_label = clusters_per_label
+
+    def select(self, n_obs: int, prepared: PreparedData,
+               rng: np.random.Generator) -> list[int]:
+        available = self._validate(n_obs, prepared)
+        dirty = dirty_wide_view(prepared)
+        detector = RahaDetector(clusters_per_label=self.clusters_per_label, rng=rng)
+        detector.analyze(dirty, n_labels=n_obs)
+        rows = detector.sample_tuples(n_obs)
+        return [available[row] for row in rows]

@@ -1,0 +1,24 @@
+"""Algorithm 1 (RandomSet): uniform random tuple selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataprep.pipeline import PreparedData
+from repro.sampling.base import Sampler
+
+
+class RandomSet(Sampler):
+    """Choose ``n_obs`` tuples uniformly at random without replacement.
+
+    The paper's baseline sampler: every tuple id has the same selection
+    probability and the data content is ignored entirely.
+    """
+
+    name = "RandomSet"
+
+    def select(self, n_obs: int, prepared: PreparedData,
+               rng: np.random.Generator) -> list[int]:
+        available = self._validate(n_obs, prepared)
+        chosen = rng.choice(len(available), size=n_obs, replace=False)
+        return [available[i] for i in chosen]

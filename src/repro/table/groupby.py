@@ -1,0 +1,121 @@
+"""Split-apply-combine aggregation for :class:`~repro.table.table.Table`."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.errors import SchemaError
+
+_BUILTIN_AGGS: dict[str, Callable[[list[Any]], Any]] = {
+    "count": len,
+    "sum": lambda vs: sum(v for v in vs if v is not None),
+    "min": lambda vs: min((v for v in vs if v is not None), default=None),
+    "max": lambda vs: max((v for v in vs if v is not None), default=None),
+    "mean": lambda vs: (
+        sum(v for v in vs if v is not None) / len([v for v in vs if v is not None])
+        if any(v is not None for v in vs) else None
+    ),
+    "first": lambda vs: vs[0] if vs else None,
+    "last": lambda vs: vs[-1] if vs else None,
+    "nunique": lambda vs: len(set(vs)),
+    "list": list,
+}
+
+
+class GroupBy:
+    """Grouping of a table's rows by one or more key columns.
+
+    Instances are created via :meth:`repro.table.table.Table.groupby`.
+    Groups preserve first-occurrence order of their keys, which keeps the
+    sampling algorithms of the paper deterministic.
+    """
+
+    def __init__(self, table: "Table", keys: list[str]):
+        from repro.table.table import Table  # circular-import guard
+        assert isinstance(table, Table)
+        if not keys:
+            raise SchemaError("groupby requires at least one key column")
+        self._table = table
+        self._keys = keys
+        key_cols = [table.column(k).values for k in keys]
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        for i in range(table.n_rows):
+            key = tuple(c[i] for c in key_cols)
+            groups.setdefault(key, []).append(i)
+        self._groups = groups
+
+    @property
+    def keys(self) -> list[str]:
+        """The grouping columns."""
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def group_indices(self) -> dict[tuple[Any, ...], list[int]]:
+        """Map each group key to the row indices belonging to it."""
+        return {k: list(v) for k, v in self._groups.items()}
+
+    def groups(self):
+        """Iterate ``(key_tuple, sub_table)`` pairs in key-first-seen order."""
+        for key, indices in self._groups.items():
+            yield key, self._table.take(indices)
+
+    def size(self, name: str = "size") -> "Table":
+        """One row per group with the group's row count."""
+        return self._combine({name: [len(ix) for ix in self._groups.values()]})
+
+    def agg(self, spec: Mapping[str, str | Callable[[list[Any]], Any]]) -> "Table":
+        """Aggregate value columns per group.
+
+        Parameters
+        ----------
+        spec:
+            Maps a value column name to either the name of a built-in
+            aggregator (``count``, ``sum``, ``min``, ``max``, ``mean``,
+            ``first``, ``last``, ``nunique``, ``list``) or a callable
+            taking the group's list of cell values.
+        """
+        resolved: dict[str, Callable[[list[Any]], Any]] = {}
+        for col, fn in spec.items():
+            self._table.column(col)  # validate
+            if callable(fn):
+                resolved[col] = fn
+            elif fn in _BUILTIN_AGGS:
+                resolved[col] = _BUILTIN_AGGS[fn]
+            else:
+                raise SchemaError(
+                    f"unknown aggregator {fn!r}; "
+                    f"available: {sorted(_BUILTIN_AGGS)}"
+                )
+        value_cols = {col: self._table.column(col).values for col in resolved}
+        out: dict[str, list[Any]] = {col: [] for col in resolved}
+        for indices in self._groups.values():
+            for col, fn in resolved.items():
+                values = [value_cols[col][i] for i in indices]
+                out[col].append(fn(values))
+        return self._combine(out)
+
+    def count(self, column: str, name: str | None = None) -> "Table":
+        """Per-group count of rows (alias of ``agg({column: 'count'})``)."""
+        result = self.agg({column: "count"})
+        if name is not None:
+            result = result.rename({column: name})
+        return result
+
+    def sum(self, column: str, name: str | None = None) -> "Table":
+        """Per-group sum of a value column, ignoring missing cells."""
+        result = self.agg({column: "sum"})
+        if name is not None:
+            result = result.rename({column: name})
+        return result
+
+    def _combine(self, aggregated: dict[str, list[Any]]) -> "Table":
+        from repro.table.table import Table
+        data: dict[str, list[Any]] = {
+            key_col: [key[j] for key in self._groups]
+            for j, key_col in enumerate(self._keys)
+        }
+        data.update(aggregated)
+        return Table(data)

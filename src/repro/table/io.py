@@ -1,0 +1,72 @@
+"""CSV reading and writing for tables.
+
+All benchmark datasets ship as a pair of CSV files (dirty and clean).  The
+reader treats every cell as a string -- the paper's models operate on raw
+character sequences, so no type inference is performed.  Empty cells are
+read as the empty string, and a configurable set of markers (by default
+``"NaN"`` stays literal, because in the benchmark data ``'NaN'`` is a
+*value* the models must learn about, not a parser-level missing cell).
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import CSVFormatError
+from repro.table.table import Table
+
+
+def read_csv(path: str | Path, missing_markers: Sequence[str] = (),
+             encoding: str = "utf-8") -> Table:
+    """Read a CSV file into a :class:`~repro.table.table.Table` of strings.
+
+    Parameters
+    ----------
+    path:
+        File to read.  The first row is the header.
+    missing_markers:
+        Cell contents converted to ``None`` on read.  Empty by default:
+        benchmark datasets keep ``"NaN"``-style markers as literal values.
+    encoding:
+        File encoding.
+
+    Raises
+    ------
+    CSVFormatError
+        On an empty file, duplicate header names, or ragged rows.
+    """
+    path = Path(path)
+    markers = set(missing_markers)
+    with path.open(newline="", encoding=encoding) as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CSVFormatError(f"{path}: file is empty") from None
+        if len(set(header)) != len(header):
+            raise CSVFormatError(f"{path}: duplicate column names in header {header}")
+        data: dict[str, list[str | None]] = {name: [] for name in header}
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise CSVFormatError(
+                    f"{path}:{line_no}: expected {len(header)} cells, got {len(row)}"
+                )
+            for name, cell in zip(header, row):
+                data[name].append(None if cell in markers else cell)
+    return Table(data)
+
+
+def write_csv(table: Table, path: str | Path, missing_marker: str = "",
+              encoding: str = "utf-8") -> None:
+    """Write a table to CSV.  ``None`` cells are written as ``missing_marker``."""
+    path = Path(path)
+    with path.open("w", newline="", encoding=encoding) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow([
+                missing_marker if row[name] is None else str(row[name])
+                for name in table.column_names
+            ])

@@ -1,0 +1,113 @@
+"""Hash joins between tables.
+
+Implements inner, left and full-outer equi-joins with pandas-style suffix
+disambiguation of overlapping non-key columns.  The paper's merge step
+(Figure 3) is an inner join of the long-format dirty and clean tables on
+``(id_, attribute)``, producing ``value_x`` / ``value_y``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import JoinError, SchemaError
+from repro.table.table import Table
+
+_VALID_HOW = ("inner", "left", "outer")
+
+
+def merge_tables(left: Table, right: Table, on: list[str], how: str = "inner",
+                 suffixes: tuple[str, str] = ("_x", "_y")) -> Table:
+    """Equi-join ``left`` and ``right`` on the key columns ``on``.
+
+    Parameters
+    ----------
+    left, right:
+        Tables to join.  Both must contain every key column.
+    on:
+        Key column names.
+    how:
+        ``"inner"`` keeps matching rows only; ``"left"`` keeps all left
+        rows; ``"outer"`` keeps all rows from both sides.  Unmatched cells
+        become ``None``.
+    suffixes:
+        Appended to non-key columns that exist on both sides.
+
+    Returns
+    -------
+    Table
+        Key columns first, then left non-key columns, then right non-key
+        columns.  Left row order is preserved; within one left row, right
+        matches appear in right-table order (a stable hash join).
+    """
+    if how not in _VALID_HOW:
+        raise JoinError(f"how must be one of {_VALID_HOW}, got {how!r}")
+    if not on:
+        raise JoinError("join requires at least one key column")
+    for name in on:
+        if name not in left:
+            raise SchemaError(f"left table lacks join key {name!r}")
+        if name not in right:
+            raise SchemaError(f"right table lacks join key {name!r}")
+
+    key_set = set(on)
+    left_value_cols = [n for n in left.column_names if n not in key_set]
+    right_value_cols = [n for n in right.column_names if n not in key_set]
+    overlap = set(left_value_cols) & set(right_value_cols)
+
+    def left_name(name: str) -> str:
+        return name + suffixes[0] if name in overlap else name
+
+    def right_name(name: str) -> str:
+        return name + suffixes[1] if name in overlap else name
+
+    out_names = (list(on)
+                 + [left_name(n) for n in left_value_cols]
+                 + [right_name(n) for n in right_value_cols])
+    if len(set(out_names)) != len(out_names):
+        raise JoinError(f"suffixes {suffixes} do not disambiguate columns: {out_names}")
+
+    right_index: dict[tuple[Any, ...], list[int]] = {}
+    right_keys = [right.column(k).values for k in on]
+    for i in range(right.n_rows):
+        right_index.setdefault(tuple(c[i] for c in right_keys), []).append(i)
+
+    out: dict[str, list[Any]] = {name: [] for name in out_names}
+    left_keys = [left.column(k).values for k in on]
+    left_values = {n: left.column(n).values for n in left_value_cols}
+    right_values = {n: right.column(n).values for n in right_value_cols}
+
+    matched_right: set[int] = set()
+    for i in range(left.n_rows):
+        key = tuple(c[i] for c in left_keys)
+        matches = right_index.get(key, [])
+        if matches:
+            for j in matches:
+                matched_right.add(j)
+                _emit(out, on, key, left_values, i, right_values, j,
+                      left_name, right_name)
+        elif how in ("left", "outer"):
+            _emit(out, on, key, left_values, i, right_values, None,
+                  left_name, right_name)
+
+    if how == "outer":
+        for j in range(right.n_rows):
+            if j not in matched_right:
+                key = tuple(c[j] for c in right_keys)
+                _emit(out, on, key, left_values, None, right_values, j,
+                      left_name, right_name)
+
+    return Table(out)
+
+
+def _emit(out: dict[str, list[Any]], on: list[str], key: tuple[Any, ...],
+          left_values: dict[str, Any], left_row: int | None,
+          right_values: dict[str, Any], right_row: int | None,
+          left_name, right_name) -> None:
+    """Append one joined output row, filling unmatched sides with None."""
+    for name, value in zip(on, key):
+        out[name].append(value)
+    for name, values in left_values.items():
+        out[left_name(name)].append(None if left_row is None else values[left_row])
+    for name, values in right_values.items():
+        out[right_name(name)].append(None if right_row is None else values[right_row])

@@ -1,0 +1,199 @@
+"""Tests for the Tensor type: arithmetic, shapes, reductions, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.errors import GraphError, ShapeError
+
+
+class TestConstruction:
+    def test_data_is_float64(self):
+        assert Tensor([1, 2]).data.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_zeros_ones(self):
+        assert Tensor.zeros(2, 2).data.sum() == 0
+        assert Tensor.ones(2, 2).data.sum() == 4
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor([1, 2]).item()
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1], requires_grad=True))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert ((Tensor([1, 2]) + Tensor([3, 4])).data == [4, 6]).all()
+
+    def test_add_scalar(self):
+        assert ((Tensor([1, 2]) + 1).data == [2, 3]).all()
+
+    def test_radd(self):
+        assert ((1 + Tensor([1, 2])).data == [2, 3]).all()
+
+    def test_sub_rsub(self):
+        assert ((Tensor([3]) - 1).data == [2]).all()
+        assert ((5 - Tensor([3])).data == [2]).all()
+
+    def test_mul_div(self):
+        assert ((Tensor([2, 4]) * Tensor([3, 5])).data == [6, 20]).all()
+        assert ((Tensor([6]) / 3).data == [2]).all()
+
+    def test_rtruediv(self):
+        assert ((6 / Tensor([3])).data == [2]).all()
+
+    def test_neg(self):
+        assert ((-Tensor([1, -2])).data == [-1, 2]).all()
+
+    def test_pow(self):
+        assert ((Tensor([2, 3]) ** 2).data == [4, 9]).all()
+
+    def test_pow_non_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor([2]) ** Tensor([2])
+
+    def test_matmul_2d(self):
+        a = Tensor([[1, 2], [3, 4]])
+        b = Tensor([[1, 0], [0, 1]])
+        assert ((a @ b).data == a.data).all()
+
+    def test_matmul_batched(self):
+        a = Tensor(np.ones((4, 3, 2)))
+        b = Tensor(np.ones((2, 5)))
+        assert (a @ b).shape == (4, 3, 5)
+
+    def test_broadcasting_add(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones(3))
+        assert (a + b).shape == (2, 3)
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        assert Tensor(np.arange(6)).reshape(2, 3).shape == (2, 3)
+
+    def test_transpose_default(self):
+        assert Tensor(np.zeros((2, 3, 4))).transpose().shape == (4, 3, 2)
+
+    def test_transpose_axes(self):
+        assert Tensor(np.zeros((2, 3, 4))).transpose(1, 0, 2).shape == (3, 2, 4)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(12).reshape(3, 4))
+        assert t[1, 2].data == 6
+        assert t[:, 1].shape == (3,)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor([[1, 2], [3, 4]]).sum().item() == 10
+
+    def test_sum_axis(self):
+        assert (Tensor([[1, 2], [3, 4]]).sum(axis=0).data == [4, 6]).all()
+
+    def test_sum_keepdims(self):
+        assert Tensor([[1, 2]]).sum(axis=1, keepdims=True).shape == (1, 1)
+
+    def test_mean(self):
+        assert Tensor([1, 2, 3]).mean().item() == 2
+
+    def test_mean_axis(self):
+        assert (Tensor([[1, 3], [5, 7]]).mean(axis=1).data == [2, 6]).all()
+
+    def test_max(self):
+        assert (Tensor([[1, 9], [5, 2]]).max(axis=1).data == [9, 5]).all()
+
+    def test_clip(self):
+        assert ((Tensor([-2, 0.5, 2]).clip(0, 1)).data == [0, 0.5, 1]).all()
+
+    def test_exp_log_inverse(self):
+        t = Tensor([0.5, 1.5])
+        np.testing.assert_allclose(t.exp().log().data, t.data)
+
+    def test_sqrt(self):
+        assert (Tensor([4.0, 9.0]).sqrt().data == [2, 3]).all()
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3 + 1) ** 2  # y = (3x+1)^2, dy/dx = 6(3x+1) = 42
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(42.0)
+
+    def test_grad_accumulates_on_reuse(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * x  # dy/dx = 2x = 2, via two paths
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(2.0)
+
+    def test_backward_non_scalar_requires_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GraphError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0, 10.0]))
+        assert (x.grad == [2.0, 20.0]).all()
+
+    def test_backward_without_grad_flag_raises(self):
+        with pytest.raises(GraphError):
+            Tensor([1.0]).backward()
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a + b).sum().backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_no_grad_blocks_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.autograd.tensor import grad_enabled
+        try:
+            with no_grad():
+                raise ValueError
+        except ValueError:
+            pass
+        assert grad_enabled()
+
+    def test_broadcast_gradient_unbroadcast(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert (b.grad == 2).all()
+
+    def test_accumulate_grad_shape_check(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ShapeError):
+            x.accumulate_grad(np.zeros((3,)))

@@ -1,0 +1,82 @@
+"""Property-based tests for the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, softmax, tanh
+from repro.autograd.tensor import unbroadcast
+
+floats = st.floats(-10, 10, allow_nan=False, width=64)
+small = arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+               elements=floats)
+
+
+@st.composite
+def same_shape_pair(draw):
+    shape = draw(st.tuples(st.integers(1, 4), st.integers(1, 4)))
+    a = draw(arrays(np.float64, shape, elements=floats))
+    b = draw(arrays(np.float64, shape, elements=floats))
+    return a, b
+
+
+@given(same_shape_pair())
+def test_addition_commutes(pair):
+    a, b = pair
+    np.testing.assert_array_equal((Tensor(a) + Tensor(b)).data,
+                                  (Tensor(b) + Tensor(a)).data)
+
+
+@given(small)
+def test_double_negation(a):
+    np.testing.assert_array_equal((-(-Tensor(a))).data, a)
+
+
+@given(small)
+def test_tanh_bounded(a):
+    out = tanh(Tensor(a)).data
+    assert (np.abs(out) <= 1.0).all()
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 5)),
+              elements=floats))
+def test_softmax_is_distribution(a):
+    out = softmax(Tensor(a)).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+
+@given(small)
+@settings(max_examples=50)
+def test_sum_gradient_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@given(small, st.floats(0.1, 5.0))
+@settings(max_examples=50)
+def test_scaling_scales_gradient(a, k):
+    t = Tensor(a, requires_grad=True)
+    (t * k).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(a, k))
+
+
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+def test_unbroadcast_inverts_broadcast(i, j, k):
+    shape = (i, 1, k)
+    grad = np.ones((i, j, k))
+    reduced = unbroadcast(grad, shape)
+    assert reduced.shape == shape
+    assert (reduced == j).all()
+
+
+@given(small)
+@settings(max_examples=30)
+def test_backward_deterministic(a):
+    def run():
+        t = Tensor(a, requires_grad=True)
+        ((t * 2 + 1) ** 2).sum().backward()
+        return t.grad
+    np.testing.assert_array_equal(run(), run())

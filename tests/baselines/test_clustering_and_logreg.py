@@ -1,0 +1,101 @@
+"""Tests for agglomerative clustering and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LogisticRegression, agglomerative_clusters
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class TestClustering:
+    def test_two_obvious_clusters(self):
+        a = np.zeros((10, 3))
+        b = np.ones((10, 3))
+        labels = agglomerative_clusters(np.vstack([a, b]), 2)
+        assert len(set(labels[:10])) == 1
+        assert len(set(labels[10:])) == 1
+        assert labels[0] != labels[10]
+
+    def test_n_clusters_respected(self, rng):
+        vectors = rng.normal(size=(30, 4))
+        labels = agglomerative_clusters(vectors, 5)
+        assert len(set(labels.tolist())) == 5
+
+    def test_n_clusters_capped_at_n(self):
+        labels = agglomerative_clusters(np.eye(3), 10)
+        assert len(set(labels.tolist())) == 3
+
+    def test_identical_vectors_one_cluster(self):
+        labels = agglomerative_clusters(np.ones((20, 2)), 5)
+        assert len(set(labels.tolist())) == 1
+
+    def test_empty_input(self):
+        assert agglomerative_clusters(np.zeros((0, 3)), 2).shape == (0,)
+
+    def test_subsampling_path_consistent(self, rng):
+        """Above max_points, out-of-sample rows join the right centroid."""
+        a = np.zeros((60, 2))
+        b = np.ones((60, 2))
+        vectors = np.vstack([a, b])
+        labels = agglomerative_clusters(vectors, 2, max_points=40, rng=rng)
+        assert len(set(labels[:60])) == 1
+        assert len(set(labels[60:])) == 1
+        assert labels[0] != labels[60]
+
+    def test_deterministic_default_rng(self, rng):
+        vectors = np.random.default_rng(0).normal(size=(25, 3))
+        a = agglomerative_clusters(vectors, 4)
+        b = agglomerative_clusters(vectors, 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            agglomerative_clusters(np.zeros(5), 2)
+        with pytest.raises(ConfigurationError):
+            agglomerative_clusters(np.zeros((5, 2)), 0)
+
+
+class TestLogisticRegression:
+    def test_separable_problem(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_probabilities_bounded(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = rng.integers(0, 2, size=50)
+        probs = LogisticRegression().fit(x, y).predict_proba(x)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_balanced_weighting_helps_minority(self, rng):
+        """With 5% positives, balanced weighting must still find them."""
+        x = np.vstack([rng.normal(0, 0.3, size=(190, 1)),
+                       rng.normal(3, 0.3, size=(10, 1))])
+        y = np.array([0] * 190 + [1] * 10)
+        balanced = LogisticRegression(class_weight="balanced").fit(x, y)
+        assert balanced.predict(x)[190:].mean() > 0.8
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_threshold(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = LogisticRegression().fit(x, y)
+        strict = model.predict(x, threshold=0.99).sum()
+        lax = model.predict(x, threshold=0.01).sum()
+        assert strict <= lax
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(n_iterations=0)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(class_weight="weird")
+        with pytest.raises(ConfigurationError):
+            LogisticRegression().fit(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            LogisticRegression().fit(np.zeros((0, 2)), np.zeros(0))

@@ -1,0 +1,139 @@
+"""Tests for the detection-strategy ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FDViolationStrategy,
+    LengthOutlierStrategy,
+    MissingValueStrategy,
+    PatternProfileStrategy,
+    ValueFrequencyStrategy,
+    default_strategies,
+)
+from repro.baselines.strategies import character_pattern, run_strategies
+from repro.errors import ConfigurationError
+from repro.table import Table
+
+
+class TestCharacterPattern:
+    def test_digits_collapse(self):
+        assert character_pattern("12345") == "9"
+
+    def test_mixed_value(self):
+        assert character_pattern("12.0 oz") == "9.9_a"
+
+    def test_letters(self):
+        assert character_pattern("Rome") == "a"
+
+    def test_punctuation_kept(self):
+        assert character_pattern("0.061%") == "9.9%"
+
+    def test_empty(self):
+        assert character_pattern("") == ""
+
+
+class TestMissingValueStrategy:
+    def test_flags_markers(self):
+        table = Table({"a": ["NaN", "x", "", "n/a"]})
+        verdicts = MissingValueStrategy().detect(table)
+        assert verdicts[:, 0].tolist() == [True, False, True, True]
+
+    def test_none_cells_flagged(self):
+        table = Table({"a": [None, "x"]})
+        assert MissingValueStrategy().detect(table)[0, 0]
+
+    def test_custom_markers(self):
+        table = Table({"a": ["missing", "x"]})
+        strategy = MissingValueStrategy(markers=["missing"])
+        assert strategy.detect(table)[:, 0].tolist() == [True, False]
+
+
+class TestPatternProfileStrategy:
+    def test_rare_pattern_flagged(self):
+        values = ["12.0"] * 40 + ["12.0 oz"]
+        table = Table({"a": values})
+        verdicts = PatternProfileStrategy(max_pattern_share=0.05).detect(table)
+        assert verdicts[-1, 0]
+        assert not verdicts[0, 0]
+
+    def test_uniform_column_clean(self):
+        table = Table({"a": ["1.5"] * 30})
+        assert not PatternProfileStrategy().detect(table).any()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            PatternProfileStrategy(max_pattern_share=0.0)
+
+
+class TestValueFrequencyStrategy:
+    def test_rare_value_in_categorical_column(self):
+        values = ["CA"] * 20 + ["NY"] * 20 + ["Cx"]
+        table = Table({"state": values})
+        verdicts = ValueFrequencyStrategy().detect(table)
+        assert verdicts[-1, 0]
+        assert not verdicts[0, 0]
+
+    def test_high_cardinality_column_skipped(self):
+        table = Table({"id": [str(i) for i in range(50)]})
+        assert not ValueFrequencyStrategy().detect(table).any()
+
+    def test_max_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            ValueFrequencyStrategy(max_count=0)
+
+
+class TestLengthOutlierStrategy:
+    def test_extreme_length_flagged(self):
+        values = ["abcde"] * 30 + ["a" * 60]
+        table = Table({"a": values})
+        verdicts = LengthOutlierStrategy().detect(table)
+        assert verdicts[-1, 0]
+        assert not verdicts[0, 0]
+
+    def test_constant_length_column_clean(self):
+        table = Table({"a": ["xx"] * 10})
+        assert not LengthOutlierStrategy().detect(table).any()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            LengthOutlierStrategy(z_threshold=0.0)
+
+
+class TestFDViolationStrategy:
+    def test_violating_row_flagged_on_both_sides(self):
+        table = Table({
+            "city": ["Rome"] * 10 + ["Paris"] * 10,
+            "state": ["IT"] * 10 + ["FR"] * 9 + ["IT"],
+        })
+        verdicts = FDViolationStrategy().detect(table)
+        assert verdicts[19, 1]  # state flagged
+        assert verdicts[19, 0]  # determinant flagged too
+        assert not verdicts[0, 1]
+
+    def test_clean_fd_unflagged(self):
+        table = Table({
+            "city": ["Rome", "Paris"] * 10,
+            "state": ["IT", "FR"] * 10,
+        })
+        assert not FDViolationStrategy().detect(table).any()
+
+
+class TestRunStrategies:
+    def test_stacked_shape(self, paper_example):
+        dirty, _ = paper_example
+        strategies = default_strategies()
+        verdicts = run_strategies(dirty, strategies)
+        assert verdicts.shape == (5, 4, len(strategies))
+
+    def test_empty_strategy_list_rejected(self, paper_example):
+        dirty, _ = paper_example
+        with pytest.raises(ConfigurationError):
+            run_strategies(dirty, [])
+
+    def test_default_ensemble_catches_table1_mv(self, paper_example):
+        """'NaN' in City must be caught by the missing-value strategy."""
+        dirty, _ = paper_example
+        verdicts = run_strategies(dirty, default_strategies())
+        city = dirty.column_names.index("City")
+        assert verdicts[0, city, :].any()

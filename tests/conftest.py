@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.table import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def people() -> Table:
+    """A small wide table with a missing value and mixed types."""
+    return Table({
+        "name": ["Ada", "Grace", "Alan", "Edsger"],
+        "city": ["Zurich", "Rome", "Paris", "Vienna"],
+        "age": ["36", "45", "41", None],
+    })
+
+
+@pytest.fixture
+def paper_example() -> tuple[Table, Table]:
+    """The dirty/clean pair from Table 1 of the paper."""
+    dirty = Table({
+        "A": ["21", "45", "30", "12", "26"],
+        "Sal": ["80,000", "98000", "92000", "99000", "850"],
+        "ZIP": ["8000", "00100", "75000", "BER", "75000"],
+        "City": ["NaN", "Romr", "Paris", "Berlin", "Vienna"],
+    })
+    clean = Table({
+        "A": ["21", "45", "30", "42", "26"],
+        "Sal": ["80000", "98000", "92000", "99000", "85000"],
+        "ZIP": ["8000", "00100", "75000", "10115", "1010"],
+        "City": ["Zurich", "Rome", "Paris", "Berlin", "Vienna"],
+    })
+    return dirty, clean

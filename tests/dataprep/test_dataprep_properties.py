@@ -1,0 +1,96 @@
+"""Property-based tests for the preparation pipeline and samplers."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataprep import encode_cells, prepare, split_by_tuple_ids
+from repro.sampling import DiverSet, RandomSet
+from repro.table import Table
+
+cell_text = st.text(string.ascii_lowercase + string.digits + " .,-", max_size=10)
+
+
+@st.composite
+def table_pairs(draw):
+    """A (dirty, clean) pair of random string tables with equal shape."""
+    n_cols = draw(st.integers(1, 4))
+    n_rows = draw(st.integers(2, 8))
+    names = [f"c{i}" for i in range(n_cols)]
+    clean = {name: draw(st.lists(cell_text, min_size=n_rows, max_size=n_rows))
+             for name in names}
+    dirty = {
+        name: [
+            draw(cell_text) if draw(st.booleans()) else clean[name][i]
+            for i in range(n_rows)
+        ]
+        for name in names
+    }
+    return Table(dirty), Table(clean)
+
+
+@given(table_pairs())
+@settings(max_examples=40, deadline=None)
+def test_prepare_cell_count(pair):
+    dirty, clean = pair
+    prepared = prepare(dirty, clean)
+    assert prepared.df.n_rows == dirty.n_rows * dirty.n_cols
+
+
+@given(table_pairs())
+@settings(max_examples=40, deadline=None)
+def test_labels_iff_values_differ(pair):
+    dirty, clean = pair
+    prepared = prepare(dirty, clean)
+    for row in prepared.df.iter_rows():
+        assert row["label"] == (0 if row["value_x"] == row["value_y"] else 1)
+
+
+@given(table_pairs())
+@settings(max_examples=40, deadline=None)
+def test_encoding_decodes_to_value(pair):
+    dirty, clean = pair
+    prepared = prepare(dirty, clean)
+    encoded = encode_cells(prepared)
+    for i, row in enumerate(prepared.df.iter_rows()):
+        assert prepared.char_index.decode(
+            encoded.features["values"][i]) == row["value_x"]
+
+
+@given(table_pairs())
+@settings(max_examples=40, deadline=None)
+def test_length_norm_in_unit_interval(pair):
+    dirty, clean = pair
+    prepared = prepare(dirty, clean)
+    for row in prepared.df.iter_rows():
+        assert 0.0 <= row["length_norm"] <= 1.0
+
+
+@given(table_pairs(), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_diverset_invariants(pair, seed):
+    dirty, clean = pair
+    prepared = prepare(dirty, clean)
+    n_obs = min(2, prepared.n_tuples - 1)
+    if n_obs < 1:
+        return
+    ids = DiverSet().select(n_obs, prepared, np.random.default_rng(seed))
+    assert len(ids) == n_obs
+    assert len(set(ids)) == n_obs
+    assert set(ids) <= set(prepared.tuple_ids())
+
+
+@given(table_pairs(), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_split_partitions_cells(pair, seed):
+    dirty, clean = pair
+    prepared = prepare(dirty, clean)
+    n_obs = min(2, prepared.n_tuples - 1)
+    if n_obs < 1:
+        return
+    ids = RandomSet().select(n_obs, prepared, np.random.default_rng(seed))
+    split = split_by_tuple_ids(prepared, ids)
+    assert split.train_size + split.test_size == prepared.df.n_rows
+    assert set(split.train.tuple_ids).isdisjoint(set(split.test.tuple_ids))

@@ -1,0 +1,117 @@
+"""Tests for character and attribute dictionaries."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep import AttributeDictionary, CharDictionary
+from repro.errors import EncodingError
+
+
+class TestCharDictionary:
+    def test_indices_start_at_one(self):
+        d = CharDictionary(["ab"])
+        assert d.index_of("a") == 1
+        assert d.index_of("b") == 2
+
+    def test_first_occurrence_order(self):
+        d = CharDictionary(["ba", "c"])
+        assert d.index_of("b") == 1
+        assert d.index_of("a") == 2
+        assert d.index_of("c") == 3
+
+    def test_sizes(self):
+        d = CharDictionary(["abc"])
+        assert d.n_chars == 3
+        assert d.vocab_size == 4  # + pad
+
+    def test_contains(self):
+        d = CharDictionary(["x"])
+        assert "x" in d
+        assert "y" not in d
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(EncodingError):
+            CharDictionary(["a"]).index_of("z")
+
+    def test_encode_pads_with_zero(self):
+        d = CharDictionary(["ab"])
+        np.testing.assert_array_equal(d.encode("ab", 4), [1, 2, 0, 0])
+
+    def test_encode_paper_example(self):
+        """Section 4.1: 'e3' in a 10-char dictionary, padded to length 4."""
+        d = CharDictionary(["abcd", "e3", "fg", "hi"])
+        encoded = d.encode("e3", 4)
+        assert encoded[0] == d.index_of("e")
+        assert encoded[1] == d.index_of("3")
+        assert list(encoded[2:]) == [0, 0]
+
+    def test_encode_too_long_raises(self):
+        with pytest.raises(EncodingError, match="exceeds"):
+            CharDictionary(["abc"]).encode("abc", 2)
+
+    def test_encode_unknown_error_mode(self):
+        with pytest.raises(EncodingError):
+            CharDictionary(["a"]).encode("az", 4)
+
+    def test_encode_unknown_skip_mode(self):
+        d = CharDictionary(["a"])
+        np.testing.assert_array_equal(d.encode("az", 4, unknown="skip"),
+                                      [1, 0, 0, 0])
+
+    def test_encode_invalid_mode(self):
+        with pytest.raises(EncodingError):
+            CharDictionary(["a"]).encode("a", 2, unknown="replace")
+
+    def test_decode_round_trip(self):
+        d = CharDictionary(["hello"])
+        assert d.decode(d.encode("hello", 8)) == "hello"
+
+    def test_decode_stops_at_pad(self):
+        d = CharDictionary(["ab"])
+        assert d.decode([1, 0, 2]) == "a"
+
+    def test_decode_unknown_index(self):
+        with pytest.raises(EncodingError):
+            CharDictionary(["a"]).decode([5])
+
+    def test_char_of_inverse(self):
+        d = CharDictionary(["xyz"])
+        for char in "xyz":
+            assert d.char_of(d.index_of(char)) == char
+
+    def test_empty_corpus_allowed(self):
+        d = CharDictionary([])
+        assert d.vocab_size == 1
+        np.testing.assert_array_equal(d.encode("", 3), [0, 0, 0])
+
+
+class TestAttributeDictionary:
+    def test_indices_start_at_one(self):
+        d = AttributeDictionary(["city", "state"])
+        assert d.index_of("city") == 1
+        assert d.index_of("state") == 2
+
+    def test_vocab_size_includes_pad(self):
+        d = AttributeDictionary(["a", "b"])
+        assert d.n_attributes == 2
+        assert d.vocab_size == 3
+
+    def test_duplicates_ignored(self):
+        d = AttributeDictionary(["a", "a", "b"])
+        assert d.n_attributes == 2
+
+    def test_unknown_raises(self):
+        with pytest.raises(EncodingError):
+            AttributeDictionary(["a"]).index_of("z")
+
+    def test_names_in_index_order(self):
+        d = AttributeDictionary(["z", "a", "m"])
+        assert d.names() == ["z", "a", "m"]
+
+    def test_attribute_of_inverse(self):
+        d = AttributeDictionary(["x", "y"])
+        assert d.attribute_of(2) == "y"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            AttributeDictionary([])

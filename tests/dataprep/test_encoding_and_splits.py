@@ -1,0 +1,98 @@
+"""Tests for cell encoding and tuple-id splitting."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep import encode_cells, prepare, split_by_tuple_ids
+from repro.errors import DataError
+from repro.table import Table
+
+
+@pytest.fixture
+def prepared(paper_example):
+    dirty, clean = paper_example
+    return prepare(dirty, clean)
+
+
+class TestEncodeCells:
+    def test_feature_shapes(self, prepared):
+        encoded = encode_cells(prepared)
+        n = prepared.df.n_rows
+        assert encoded.features["values"].shape == (n, prepared.max_length)
+        assert encoded.features["attributes"].shape == (n,)
+        assert encoded.features["length_norm"].shape == (n, 1)
+        assert encoded.labels.shape == (n,)
+
+    def test_values_decode_back(self, prepared):
+        encoded = encode_cells(prepared)
+        for i, row in enumerate(prepared.df.iter_rows()):
+            decoded = prepared.char_index.decode(encoded.features["values"][i])
+            assert decoded == row["value_x"]
+
+    def test_attribute_indices_valid(self, prepared):
+        encoded = encode_cells(prepared)
+        for i, row in enumerate(prepared.df.iter_rows()):
+            assert (encoded.features["attributes"][i]
+                    == prepared.attribute_index.index_of(row["attribute"]))
+
+    def test_labels_are_binary(self, prepared):
+        encoded = encode_cells(prepared)
+        assert set(np.unique(encoded.labels)) <= {0, 1}
+
+    def test_tuple_ids_recorded(self, prepared):
+        encoded = encode_cells(prepared)
+        assert set(encoded.tuple_ids.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_subset(self, prepared):
+        encoded = encode_cells(prepared)
+        sub = encoded.subset(np.array([0, 2]))
+        assert sub.n_cells == 2
+        assert sub.attribute_names == (encoded.attribute_names[0],
+                                       encoded.attribute_names[2])
+
+    def test_missing_column_rejected(self, prepared):
+        broken = prepared.df.drop(["label"])
+        with pytest.raises(DataError):
+            encode_cells(prepared, df=broken)
+
+
+class TestSplitByTupleIds:
+    def test_sizes(self, prepared):
+        split = split_by_tuple_ids(prepared, [0, 2])
+        assert split.train_size == 2 * 4  # tuples x attributes
+        assert split.test_size == 3 * 4
+
+    def test_no_leakage(self, prepared):
+        split = split_by_tuple_ids(prepared, [0, 2])
+        assert set(split.train.tuple_ids.tolist()) == {0, 2}
+        assert set(split.test.tuple_ids.tolist()) == {1, 3, 4}
+
+    def test_paper_sizes_example(self):
+        """Section 5.2: Beers = 20 tuples x 11 attrs train, rest test."""
+        n_rows, n_attrs = 50, 11
+        dirty = Table({f"c{j}": [f"v{i}" for i in range(n_rows)]
+                       for j in range(n_attrs)})
+        prepared = prepare(dirty, dirty)
+        split = split_by_tuple_ids(prepared, list(range(20)))
+        assert split.train_size == 20 * n_attrs
+        assert split.test_size == (n_rows - 20) * n_attrs
+
+    def test_empty_ids_rejected(self, prepared):
+        with pytest.raises(DataError):
+            split_by_tuple_ids(prepared, [])
+
+    def test_duplicate_ids_rejected(self, prepared):
+        with pytest.raises(DataError):
+            split_by_tuple_ids(prepared, [0, 0])
+
+    def test_unknown_ids_rejected(self, prepared):
+        with pytest.raises(DataError, match="99"):
+            split_by_tuple_ids(prepared, [0, 99])
+
+    def test_all_tuples_in_train_rejected(self, prepared):
+        with pytest.raises(DataError, match="empty"):
+            split_by_tuple_ids(prepared, [0, 1, 2, 3, 4])
+
+    def test_train_tuple_ids_preserved_in_order(self, prepared):
+        split = split_by_tuple_ids(prepared, [3, 1])
+        assert split.train_tuple_ids == (3, 1)

@@ -1,0 +1,184 @@
+"""Tests for the error-injection framework."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.errors import (
+    CellError,
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    format_add_suffix,
+    format_date_prefix,
+    format_decimal_suffix,
+    format_strip_leading_zeros,
+    format_thousands_separator,
+    make_dependency_violation,
+    make_missing,
+    time_shift,
+    typo_insert_quote,
+    typo_mark_x,
+    typo_substitute,
+)
+from repro.errors import DataError
+from repro.table import Table
+
+
+class TestCorruptors:
+    def test_make_missing(self, rng):
+        assert make_missing("NaN")("hello", {}, rng) == "NaN"
+
+    def test_typo_mark_x_single_letter(self, rng):
+        out = typo_mark_x("Birmingham", {}, rng)
+        assert out != "Birmingham"
+        assert sum(a != b for a, b in zip(out, "Birmingham")) == 1
+        assert "x" in out.lower()
+
+    def test_typo_mark_x_case_preserved(self, rng):
+        for _ in range(10):
+            out = typo_mark_x("ROME", {}, rng)
+            assert out.isupper()
+
+    def test_typo_mark_x_no_letters_noop(self, rng):
+        assert typo_mark_x("12345", {}, rng) == "12345"
+
+    def test_typo_substitute_changes_one_char(self, rng):
+        out = typo_substitute("hello", {}, rng)
+        assert len(out) == 5
+        assert sum(a != b for a, b in zip(out, "hello")) == 1
+
+    def test_typo_insert_quote(self, rng):
+        out = typo_insert_quote("Junichi", {}, rng)
+        assert len(out) > len("Junichi")
+
+    def test_format_add_suffix(self, rng):
+        assert format_add_suffix(" oz")("12.0", {}, rng) == "12.0 oz"
+
+    def test_format_add_suffix_empty_noop(self, rng):
+        assert format_add_suffix(" oz")("", {}, rng) == ""
+
+    def test_strip_leading_zeros(self, rng):
+        assert format_strip_leading_zeros("01907", {}, rng) == "1907"
+
+    def test_strip_leading_zeros_all_zero_noop(self, rng):
+        assert format_strip_leading_zeros("000", {}, rng) == "000"
+
+    def test_thousands_separator(self, rng):
+        assert format_thousands_separator("379998", {}, rng) == "379,998"
+        assert format_thousands_separator("1234567", {}, rng) == "1,234,567"
+
+    def test_thousands_separator_short_noop(self, rng):
+        assert format_thousands_separator("999", {}, rng) == "999"
+
+    def test_decimal_suffix(self, rng):
+        assert format_decimal_suffix("8", {}, rng) == "8.0"
+        assert format_decimal_suffix("8.5", {}, rng) == "8.5"
+
+    def test_date_prefix(self, rng):
+        out = format_date_prefix("12/02/2011 ")("6:55 a.m.", {}, rng)
+        assert out == "12/02/2011 6:55 a.m."
+
+    def test_dependency_violation_changes_value(self, rng):
+        corrupt = make_dependency_violation(["CA", "NY", "TX"])
+        for _ in range(10):
+            assert corrupt("CA", {}, rng) in {"NY", "TX"}
+
+    def test_dependency_violation_needs_domain(self):
+        with pytest.raises(DataError):
+            make_dependency_violation(["only"])
+
+    def test_time_shift_valid_format(self, rng):
+        out = time_shift("9:00 a.m.", {}, rng)
+        assert out != "9:00 a.m."
+        import re
+        assert re.match(r"^\d{1,2}:\d{2} a\.m\.$", out)
+
+    def test_time_shift_non_time_noop(self, rng):
+        assert time_shift("not a time", {}, rng) == "not a time"
+
+
+class TestErrorInjector:
+    @pytest.fixture
+    def clean(self):
+        return Table({
+            "name": [f"name{i}" for i in range(100)],
+            "value": [str(i) for i in range(100)],
+        })
+
+    def test_target_rate_hit(self, clean, rng):
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO),
+            ColumnErrorSpec("value", make_missing(), ErrorType.MISSING_VALUE),
+        ])
+        dirty, ledger = injector.inject(clean, 0.10, rng)
+        assert len(ledger) == pytest.approx(0.10 * 200, abs=2)
+
+    def test_ledger_matches_changes(self, clean, rng):
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO)])
+        dirty, ledger = injector.inject(clean, 0.05, rng)
+        for error in ledger:
+            assert dirty.column(error.attribute)[error.row] == error.corrupted
+            assert clean.column(error.attribute)[error.row] == error.original
+            assert error.corrupted != error.original
+
+    def test_untouched_cells_identical(self, clean, rng):
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO)])
+        dirty, ledger = injector.inject(clean, 0.05, rng)
+        touched = {(e.row, e.attribute) for e in ledger}
+        for i in range(clean.n_rows):
+            for attr in clean.column_names:
+                if (i, attr) not in touched:
+                    assert dirty.column(attr)[i] == clean.column(attr)[i]
+
+    def test_weights_respected(self, clean, rng):
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO, weight=9.0),
+            ColumnErrorSpec("value", make_missing(), ErrorType.MISSING_VALUE,
+                            weight=1.0),
+        ])
+        _, ledger = injector.inject(clean, 0.2, rng)
+        typos = sum(1 for e in ledger if e.error_type is ErrorType.TYPO)
+        missings = len(ledger) - typos
+        assert typos > missings * 3
+
+    def test_no_double_corruption(self, clean, rng):
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO),
+            ColumnErrorSpec("name", make_missing(), ErrorType.MISSING_VALUE),
+        ])
+        _, ledger = injector.inject(clean, 0.5, rng)
+        cells = [(e.row, e.attribute) for e in ledger]
+        assert len(cells) == len(set(cells))
+
+    def test_zero_rate_no_errors(self, clean, rng):
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO)])
+        dirty, ledger = injector.inject(clean, 0.0, rng)
+        assert ledger == ()
+        assert dirty == clean
+
+    def test_noop_corruptions_skipped(self, rng):
+        """A corruptor that never changes anything yields no ledger entries."""
+        clean = Table({"a": ["000"] * 20})
+        injector = ErrorInjector([
+            ColumnErrorSpec("a", format_strip_leading_zeros,
+                            ErrorType.FORMATTING_ISSUE)])
+        dirty, ledger = injector.inject(clean, 0.5, rng)
+        assert ledger == ()
+        assert dirty == clean
+
+    def test_validation(self, clean, rng):
+        with pytest.raises(DataError):
+            ErrorInjector([])
+        with pytest.raises(DataError):
+            ErrorInjector([ColumnErrorSpec("ghost", typo_substitute,
+                                           ErrorType.TYPO)]).inject(clean, 0.1, rng)
+        injector = ErrorInjector([
+            ColumnErrorSpec("name", typo_substitute, ErrorType.TYPO)])
+        with pytest.raises(DataError):
+            injector.inject(clean, 1.0, rng)
+        with pytest.raises(DataError):
+            ErrorInjector([ColumnErrorSpec("name", typo_substitute,
+                                           ErrorType.TYPO, weight=0.0)])

@@ -1,0 +1,81 @@
+"""Property-based tests for the error injector."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.errors import (
+    ColumnErrorSpec,
+    ErrorInjector,
+    ErrorType,
+    make_missing,
+    typo_substitute,
+)
+from repro.table import Table
+
+value = st.text(string.ascii_letters + string.digits, min_size=1, max_size=8)
+
+
+@st.composite
+def clean_tables(draw):
+    n_rows = draw(st.integers(5, 40))
+    return Table({
+        "a": draw(st.lists(value, min_size=n_rows, max_size=n_rows)),
+        "b": draw(st.lists(value, min_size=n_rows, max_size=n_rows)),
+    })
+
+
+@given(clean_tables(), st.floats(0.0, 0.4), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_measured_rate_never_exceeds_target_plus_rounding(table, rate, seed):
+    injector = ErrorInjector([
+        ColumnErrorSpec("a", typo_substitute, ErrorType.TYPO),
+        ColumnErrorSpec("b", make_missing("NaN"), ErrorType.MISSING_VALUE),
+    ])
+    dirty, ledger = injector.inject(table, rate, np.random.default_rng(seed))
+    budget = round(rate * table.n_rows * table.n_cols)
+    assert len(ledger) <= budget
+
+
+@given(clean_tables(), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_ledger_exactly_describes_diff(table, seed):
+    injector = ErrorInjector([
+        ColumnErrorSpec("a", typo_substitute, ErrorType.TYPO),
+        ColumnErrorSpec("b", make_missing("NaN"), ErrorType.MISSING_VALUE),
+    ])
+    dirty, ledger = injector.inject(table, 0.2, np.random.default_rng(seed))
+    changed = {
+        (i, name)
+        for name in table.column_names
+        for i in range(table.n_rows)
+        if dirty.column(name)[i] != table.column(name)[i]
+    }
+    assert changed == {(e.row, e.attribute) for e in ledger}
+
+
+@given(clean_tables(), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_injection_deterministic_per_seed(table, seed):
+    injector = ErrorInjector([
+        ColumnErrorSpec("a", typo_substitute, ErrorType.TYPO),
+    ])
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    dirty_a, ledger_a = injector.inject(table, 0.15, rng_a)
+    dirty_b, ledger_b = injector.inject(table, 0.15, rng_b)
+    assert dirty_a == dirty_b
+    assert ledger_a == ledger_b
+
+
+@given(clean_tables(), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_shape_and_schema_preserved(table, seed):
+    injector = ErrorInjector([
+        ColumnErrorSpec("b", make_missing(""), ErrorType.MISSING_VALUE),
+    ])
+    dirty, _ = injector.inject(table, 0.3, np.random.default_rng(seed))
+    assert dirty.shape == table.shape
+    assert dirty.column_names == table.column_names

@@ -1,0 +1,57 @@
+"""Tests for the shared generator vocabularies."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.datasets import vocab
+
+
+class TestVocabularies:
+    def test_city_state_is_functional_dependency(self):
+        mapping = {}
+        for city, state in vocab.CITY_STATE:
+            assert mapping.setdefault(city, state) == state
+
+    def test_states_derived_from_pairs(self):
+        assert set(vocab.STATES) == {s for _, s in vocab.CITY_STATE}
+
+    def test_journals_have_three_fields(self):
+        for journal, abbreviation, issn in vocab.JOURNALS:
+            assert journal and abbreviation
+            assert re.match(r"^\d{4}-\d{3}[\dX]$", issn)
+
+    def test_flight_sources_distinct(self):
+        assert len(set(vocab.FLIGHT_SOURCES)) == len(vocab.FLIGHT_SOURCES)
+
+
+class TestFactories:
+    def test_pick_deterministic(self):
+        a = vocab.pick(np.random.default_rng(1), vocab.FIRST_NAMES)
+        b = vocab.pick(np.random.default_rng(1), vocab.FIRST_NAMES)
+        assert a == b
+
+    def test_person_name_components(self, rng):
+        first, last = vocab.person_name(rng)
+        assert first in vocab.FIRST_NAMES
+        assert last in vocab.LAST_NAMES
+
+    def test_phone_number_format(self, rng):
+        for _ in range(10):
+            assert re.match(r"^\d{3}-\d{3}-\d{4}$", vocab.phone_number(rng))
+
+    def test_zip_code_five_digits(self, rng):
+        for _ in range(50):
+            code = vocab.zip_code(rng)
+            assert len(code) == 5
+            assert code.isdigit()
+
+    def test_zip_code_sometimes_leading_zero(self, rng):
+        codes = [vocab.zip_code(rng) for _ in range(200)]
+        assert any(c.startswith("0") for c in codes)
+        assert any(not c.startswith("0") for c in codes)
+
+    def test_clock_time_format(self, rng):
+        for _ in range(20):
+            assert re.match(r"^\d{1,2}:\d{2} [ap]\.m\.$", vocab.clock_time(rng))

@@ -1,0 +1,85 @@
+"""Tests for the reproduction-fidelity metrics."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.fidelity import (
+    FidelityReport,
+    fidelity_report,
+    spearman_rho,
+)
+from tests.experiments.test_harness import fake_result
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rho([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        a = [0.1, 0.5, 0.9, 0.3]
+        b = [x ** 3 for x in a]
+        assert spearman_rho(a, b) == pytest.approx(1.0)
+
+    def test_ties_averaged(self):
+        rho = spearman_rho([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= rho <= 1.0
+
+    def test_constant_sequence_is_zero(self):
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            spearman_rho([1], [1])
+        with pytest.raises(ExperimentError):
+            spearman_rho([1, 2], [1, 2, 3])
+
+
+class TestFidelityReport:
+    def _results(self, f1s: dict[str, float], system="ETSB-RNN"):
+        out = []
+        for dataset, f1 in f1s.items():
+            result = fake_result(system, dataset, [f1])
+            out.append(result)
+        return out
+
+    def test_exact_reproduction_zero_gap(self):
+        paper_values = {"beers": 0.98, "flights": 0.74, "hospital": 0.97,
+                        "movies": 0.88, "rayyan": 0.85, "tax": 0.86}
+        report = fidelity_report(self._results(paper_values), "ETSB-RNN")
+        assert report.mean_absolute_gap == pytest.approx(0.0, abs=0.01)
+        assert report.rank_correlation == pytest.approx(1.0)
+
+    def test_gap_signs(self):
+        report = fidelity_report(
+            self._results({"beers": 0.88, "flights": 0.84}), "ETSB-RNN")
+        assert report.gaps["beers"] == pytest.approx(-0.10, abs=0.01)
+        assert report.gaps["flights"] == pytest.approx(0.10, abs=0.01)
+
+    def test_worst_dataset(self):
+        report = fidelity_report(
+            self._results({"beers": 0.98, "flights": 0.30}), "ETSB-RNN")
+        assert report.worst_dataset == "flights"
+
+    def test_render_contains_all_datasets(self):
+        report = fidelity_report(
+            self._results({"beers": 0.9, "flights": 0.7}), "ETSB-RNN")
+        text = report.render()
+        assert "beers" in text
+        assert "rank correlation" in text
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ExperimentError):
+            fidelity_report([], "GPT-RNN")
+
+    def test_too_few_datasets_rejected(self):
+        with pytest.raises(ExperimentError):
+            fidelity_report(self._results({"beers": 0.9}), "ETSB-RNN")
+
+    def test_other_systems_ignored(self):
+        mixed = (self._results({"beers": 0.9, "flights": 0.7})
+                 + self._results({"beers": 0.1}, system="TSB-RNN"))
+        report = fidelity_report(mixed, "ETSB-RNN")
+        assert set(report.gaps) == {"beers", "flights"}

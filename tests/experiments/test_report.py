@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import _SECTIONS, generate_report
+
+
+class TestGenerateReport:
+    def test_includes_present_results(self, tmp_path):
+        (tmp_path / "table2_datasets.txt").write_text("THE TABLE 2 BODY")
+        report = generate_report(tmp_path)
+        assert "THE TABLE 2 BODY" in report
+        assert "Table 2" in report
+
+    def test_flags_missing_results(self, tmp_path):
+        report = generate_report(tmp_path)
+        assert "benchmark not run yet" in report
+        assert "Missing result files" in report
+
+    def test_writes_output_file(self, tmp_path):
+        out = tmp_path / "EXPERIMENTS.md"
+        generate_report(tmp_path, out)
+        assert out.exists()
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+    def test_every_section_has_heading_and_context(self, tmp_path):
+        report = generate_report(tmp_path)
+        for _, heading, context in _SECTIONS:
+            assert heading in report
+            assert context.split("\n")[0][:30] in report
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            generate_report(tmp_path / "nope")
+
+    def test_sections_cover_every_table_and_figure(self):
+        headings = [heading for _, heading, __ in _SECTIONS]
+        for required in ("Table 2", "Table 3", "Table 4", "Table 5",
+                         "Figure 6", "Figure 7"):
+            assert any(required in h for h in headings), required

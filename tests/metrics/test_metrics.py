@@ -1,0 +1,128 @@
+"""Tests for classification metrics and run statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics import (
+    ClassificationReport,
+    accuracy,
+    confidence_interval,
+    confusion_counts,
+    f1_score,
+    mean,
+    precision,
+    recall,
+    stdev,
+    summarize,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert confusion_counts(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            confusion_counts([1], [1, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ExperimentError):
+            confusion_counts([2, 0], [1, 0])
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ExperimentError):
+            confusion_counts(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestMetrics:
+    def test_precision(self):
+        assert precision([1, 0, 0], [1, 1, 0]) == 0.5
+
+    def test_recall(self):
+        assert recall([1, 1, 0], [1, 0, 0]) == 0.5
+
+    def test_f1(self):
+        p, r = 0.5, 1.0
+        assert f1_score([1, 0], [1, 1]) == pytest.approx(2 * p * r / (p + r))
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_no_predicted_positives(self):
+        assert precision([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_actual_positives(self):
+        assert recall([0, 0], [1, 0]) == 0.0
+
+    def test_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+
+class TestReport:
+    def test_from_predictions(self):
+        report = ClassificationReport.from_predictions([1, 1, 0, 0],
+                                                       [1, 0, 1, 0])
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+        assert report.f1 == 0.5
+        assert report.accuracy == 0.5
+        assert (report.tp, report.fp, report.fn, report.tn) == (1, 1, 1, 1)
+
+    def test_as_row(self):
+        report = ClassificationReport.from_predictions([1], [1])
+        assert report.as_row() == {"P": 1.0, "R": 1.0, "F1": 1.0}
+
+    def test_str_format(self):
+        text = str(ClassificationReport.from_predictions([1, 0], [1, 0]))
+        assert "F1=1.00" in text
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean([])
+
+    def test_stdev_sample(self):
+        assert stdev([2.0, 4.0]) == pytest.approx(np.std([2, 4], ddof=1))
+
+    def test_stdev_single_value(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        values = [0.8, 0.9, 0.85, 0.95, 0.9]
+        low, high = confidence_interval(values)
+        assert low < mean(values) < high
+
+    def test_confidence_interval_matches_t_table(self):
+        # n=10 -> t(9) = 2.262
+        values = list(np.linspace(0, 1, 10))
+        low, high = confidence_interval(values)
+        half = 2.262 * stdev(values) / np.sqrt(10)
+        assert high - mean(values) == pytest.approx(half)
+
+    def test_single_value_interval_degenerate(self):
+        assert confidence_interval([0.5]) == (0.5, 0.5)
+
+    def test_unsupported_level_rejected(self):
+        with pytest.raises(ExperimentError):
+            confidence_interval([1.0, 2.0], level=0.99)
+
+    def test_summarize(self):
+        summary = summarize([0.9, 0.8, 1.0])
+        assert summary.mean == pytest.approx(0.9)
+        assert summary.n == 3
+        assert summary.ci_low < 0.9 < summary.ci_high
+        assert "±" in str(summary)
+
+    def test_large_sample_uses_normal(self):
+        values = list(np.linspace(0, 1, 50))
+        low, high = confidence_interval(values)
+        half = 1.96 * stdev(values) / np.sqrt(50)
+        assert high - mean(values) == pytest.approx(half)

@@ -1,0 +1,155 @@
+"""Tests for the LSTM and GRU cells and their stacked/bidirectional use."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.errors import ConfigurationError
+from repro.nn import (
+    BidirectionalRNN,
+    GRUCell,
+    LSTMCell,
+    StackedRNN,
+    make_cell,
+)
+from repro.nn.layers.rnn import CELL_TYPES, RNNCell
+
+
+class TestMakeCell:
+    def test_families(self, rng):
+        assert isinstance(make_cell("rnn", 2, 3, rng), RNNCell)
+        assert isinstance(make_cell("lstm", 2, 3, rng), LSTMCell)
+        assert isinstance(make_cell("gru", 2, 3, rng), GRUCell)
+
+    def test_unknown_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_cell("transformer", 2, 3, rng)
+
+    def test_cell_types_constant(self):
+        assert CELL_TYPES == ("rnn", "lstm", "gru")
+
+
+class TestLSTMCell:
+    def test_state_packing(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        state = cell.initial_state(2)
+        assert state.shape == (2, 8)  # [h, c]
+        assert cell.output(state).shape == (2, 4)
+
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        state = cell.step(Tensor(np.ones((2, 3))), cell.initial_state(2))
+        assert state.shape == (2, 8)
+
+    def test_hidden_state_bounded(self, rng):
+        """h = o * tanh(c) is bounded by 1 in magnitude."""
+        cell = LSTMCell(2, 3, rng)
+        state = cell.initial_state(1)
+        for _ in range(20):
+            state = cell.step(Tensor(np.ones((1, 2)) * 10), state)
+        assert (np.abs(cell.output(state).data) <= 1.0).all()
+
+    def test_forget_bias_initialised(self, rng):
+        cell = LSTMCell(2, 3, rng, forget_bias=1.0)
+        assert (cell.b_h.data[3:6] == 1.0).all()
+        assert (cell.b_h.data[:3] == 0.0).all()
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ConfigurationError):
+            LSTMCell(0, 3, rng)
+
+    def test_gradcheck(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 2)),
+                   requires_grad=True)
+        check_gradients(
+            lambda: (cell.step(x, cell.initial_state(2)) ** 2).sum(),
+            [x] + cell.parameters())
+
+
+class TestGRUCell:
+    def test_state_is_output(self, rng):
+        cell = GRUCell(3, 4, rng)
+        state = cell.initial_state(2)
+        assert state.shape == (2, 4)
+        assert cell.output(state) is state
+
+    def test_interpolation_property(self, rng):
+        """With the update gate saturated open, h barely changes."""
+        cell = GRUCell(2, 3, rng)
+        cell.b_h.data[:3] = 50.0  # z ~= 1 -> keep previous state
+        h0 = Tensor(np.full((1, 3), 0.5))
+        h1 = cell.step(Tensor(np.zeros((1, 2))), h0)
+        np.testing.assert_allclose(h1.data, h0.data, atol=1e-10)
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ConfigurationError):
+            GRUCell(2, 0, rng)
+
+    def test_gradcheck(self, rng):
+        cell = GRUCell(2, 3, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 2)),
+                   requires_grad=True)
+        check_gradients(
+            lambda: (cell.step(x, cell.initial_state(2)) ** 2).sum(),
+            [x] + cell.parameters())
+
+
+class TestStackedGatedRNNs:
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_stacked_output_shape(self, rng, cell_type):
+        rnn = StackedRNN(3, 5, rng, num_layers=2, cell_type=cell_type)
+        out = rnn(Tensor(np.ones((2, 6, 3))))
+        assert out.shape == (2, 5)
+
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_mask_carries_state(self, rng, cell_type):
+        rnn = StackedRNN(2, 3, rng, cell_type=cell_type)
+        data = np.random.default_rng(0).normal(size=(1, 5, 2))
+        mask = np.array([[True, True, True, False, False]])
+        np.testing.assert_allclose(
+            rnn(Tensor(data), mask=mask).data,
+            rnn(Tensor(data[:, :3, :])).data)
+
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_bidirectional_width(self, rng, cell_type):
+        birnn = BidirectionalRNN(3, 4, rng, cell_type=cell_type)
+        assert birnn(Tensor(np.ones((2, 5, 3)))).shape == (2, 8)
+
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_gradcheck_through_stack(self, rng, cell_type):
+        rnn = StackedRNN(2, 3, rng, num_layers=2, cell_type=cell_type)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 2)),
+                   requires_grad=True)
+        check_gradients(lambda: (rnn(x) ** 2).sum(), [x] + rnn.parameters())
+
+    def test_parameter_count_ordering(self, rng):
+        """LSTM > GRU > RNN in parameters -- the complexity claim."""
+        def count(cell_type):
+            return StackedRNN(4, 8, np.random.default_rng(0),
+                              cell_type=cell_type).n_parameters()
+        assert count("lstm") > count("gru") > count("rnn")
+
+
+class TestModelsWithGatedCells:
+    @pytest.mark.parametrize("cell_type", ["lstm", "gru"])
+    def test_etsb_with_gated_cell(self, rng, cell_type):
+        from repro.models import ETSBRNN, ModelConfig
+        config = ModelConfig(char_embed_dim=4, value_units=5,
+                             attr_embed_dim=3, attr_units=3,
+                             length_dense_units=4, head_units=6,
+                             cell_type=cell_type)
+        model = ETSBRNN(9, 5, config, rng)
+        features = {
+            "values": np.array([[1, 2, 0], [3, 4, 5]]),
+            "attributes": np.array([1, 2]),
+            "length_norm": np.array([[0.5], [1.0]]),
+        }
+        out = model(features)
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out.numpy().sum(axis=1), 1.0)
+
+    def test_invalid_cell_type_rejected(self):
+        from repro.models import ModelConfig
+        with pytest.raises(ConfigurationError):
+            ModelConfig(cell_type="bert")

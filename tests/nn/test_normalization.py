@@ -1,0 +1,93 @@
+"""Tests for BatchNorm1d."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.errors import ConfigurationError
+from repro.nn import BatchNorm1d
+
+
+class TestTrainingMode:
+    def test_output_standardized(self, rng):
+        norm = BatchNorm1d(3)
+        x = Tensor(rng.normal(5.0, 3.0, size=(64, 3)))
+        out = norm(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        norm = BatchNorm1d(2)
+        norm.gamma.data[:] = 2.0
+        norm.beta.data[:] = 5.0
+        out = norm(Tensor(rng.normal(size=(32, 2)))).data
+        assert out.mean(axis=0) == pytest.approx([5.0, 5.0], abs=1e-8)
+
+    def test_running_stats_updated(self, rng):
+        norm = BatchNorm1d(2, momentum=0.5)
+        x = Tensor(np.full((8, 2), 10.0))
+        norm(x)
+        assert (norm.buffer("running_mean") == 5.0).all()  # 0.5*0 + 0.5*10
+
+    def test_gradcheck(self, rng):
+        norm = BatchNorm1d(3)
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        weights = Tensor(rng.normal(size=(5, 3)))
+        check_gradients(lambda: (norm(x) * weights).sum(),
+                        [x, norm.gamma, norm.beta], atol=1e-4)
+
+
+class TestEvalMode:
+    def test_uses_running_stats(self, rng):
+        norm = BatchNorm1d(2, momentum=1.0)
+        train_x = Tensor(rng.normal(3.0, 2.0, size=(256, 2)))
+        norm(train_x)  # capture stats
+        norm.eval()
+        out = norm(train_x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_single_sample_prediction_works(self, rng):
+        norm = BatchNorm1d(3)
+        norm(Tensor(rng.normal(size=(16, 3))))
+        norm.eval()
+        out = norm(Tensor(np.ones((1, 3))))
+        assert out.shape == (1, 3)
+        assert np.isfinite(out.data).all()
+
+    def test_eval_deterministic(self, rng):
+        norm = BatchNorm1d(2)
+        norm(Tensor(rng.normal(size=(8, 2))))
+        norm.eval()
+        x = Tensor(np.ones((4, 2)))
+        np.testing.assert_array_equal(norm(x).data, norm(x).data)
+
+    def test_eval_does_not_update_stats(self, rng):
+        norm = BatchNorm1d(2)
+        norm.eval()
+        before = norm.buffer("running_mean").copy()
+        norm(Tensor(rng.normal(size=(8, 2))))
+        np.testing.assert_array_equal(norm.buffer("running_mean"), before)
+
+
+class TestValidation:
+    def test_bad_features_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(0)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(2, momentum=0.0)
+
+    def test_wrong_input_shape_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            BatchNorm1d(3)(Tensor(np.ones((2, 4))))
+
+    def test_stats_in_state_dict(self, rng):
+        norm = BatchNorm1d(2)
+        norm(Tensor(rng.normal(size=(8, 2))))
+        state = norm.state_dict()
+        assert "buffer:running_mean" in state
+        fresh = BatchNorm1d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.buffer("running_mean"),
+                                      norm.buffer("running_mean"))

@@ -1,0 +1,168 @@
+"""Tests for the recurrent layers -- the paper's Eq. 1-4 and Figure 5."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.errors import ConfigurationError
+from repro.nn import BidirectionalRNN, RNNCell, StackedRNN
+
+
+class TestRNNCell:
+    def test_step_shape(self, rng):
+        cell = RNNCell(3, 5, rng)
+        out = cell.step(Tensor(np.ones((2, 3))), cell.initial_state(2))
+        assert out.shape == (2, 5)
+
+    def test_step_matches_equations(self, rng):
+        """Eq. 1-2: h = tanh(x Wx + h_prev Wh + b)."""
+        cell = RNNCell(2, 3, rng)
+        x = np.array([[0.5, -1.0]])
+        h_prev = np.array([[0.1, 0.2, 0.3]])
+        expected = np.tanh(x @ cell.w_x.data + h_prev @ cell.w_h.data
+                           + cell.b_h.data)
+        out = cell.step(Tensor(x), Tensor(h_prev))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_step_projected_equivalent(self, rng):
+        cell = RNNCell(2, 3, rng)
+        x = Tensor(np.array([[0.5, -1.0]]))
+        h = Tensor(np.array([[0.1, 0.2, 0.3]]))
+        proj = x @ cell.w_x + cell.b_h
+        np.testing.assert_allclose(cell.step(x, h).data,
+                                   cell.step_projected(proj, h).data)
+
+    def test_initial_state_zero(self, rng):
+        assert (RNNCell(2, 3, rng).initial_state(4).data == 0).all()
+
+    def test_invalid_dims_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RNNCell(0, 3, rng)
+
+    def test_recurrent_kernel_orthogonal(self, rng):
+        cell = RNNCell(2, 6, rng)
+        np.testing.assert_allclose(cell.w_h.data @ cell.w_h.data.T,
+                                   np.eye(6), atol=1e-10)
+
+
+class TestStackedRNN:
+    def test_final_state_shape(self, rng):
+        rnn = StackedRNN(3, 5, rng, num_layers=2)
+        out = rnn(Tensor(np.ones((2, 7, 3))))
+        assert out.shape == (2, 5)
+
+    def test_run_returns_per_step_states(self, rng):
+        rnn = StackedRNN(3, 5, rng)
+        final, steps = rnn.run(Tensor(np.ones((2, 7, 3))))
+        assert len(steps) == 7
+        np.testing.assert_array_equal(final.data, steps[-1].data)
+
+    def test_reverse_final_is_first_step(self, rng):
+        rnn = StackedRNN(3, 5, rng, reverse=True)
+        final, steps = rnn.run(Tensor(np.ones((2, 7, 3))))
+        np.testing.assert_array_equal(final.data, steps[0].data)
+
+    def test_two_stacked_differs_from_one(self, rng):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 3)))
+        one = StackedRNN(3, 4, np.random.default_rng(1), num_layers=1)
+        two = StackedRNN(3, 4, np.random.default_rng(1), num_layers=2)
+        assert not np.allclose(one(x).data, two(x).data)
+
+    def test_mask_carries_state(self, rng):
+        """Padded steps must not change the hidden state."""
+        rnn = StackedRNN(3, 4, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 5, 3)))
+        mask_full = np.array([[True, True, True, False, False]])
+        short = Tensor(x.data[:, :3, :])
+        np.testing.assert_allclose(rnn(x, mask=mask_full).data,
+                                   rnn(short).data)
+
+    def test_mask_mixed_batch(self, rng):
+        """Each row's final state matches its own unpadded run."""
+        rnn = StackedRNN(2, 3, rng)
+        data = np.random.default_rng(0).normal(size=(2, 4, 2))
+        mask = np.array([[True, True, False, False],
+                         [True, True, True, True]])
+        batched = rnn(Tensor(data), mask=mask).data
+        row0 = rnn(Tensor(data[0:1, :2, :])).data
+        row1 = rnn(Tensor(data[1:2, :, :])).data
+        np.testing.assert_allclose(batched[0], row0[0])
+        np.testing.assert_allclose(batched[1], row1[0])
+
+    def test_sequence_order_matters(self, rng):
+        rnn = StackedRNN(2, 3, rng)
+        data = np.random.default_rng(0).normal(size=(1, 4, 2))
+        reversed_data = data[:, ::-1, :].copy()
+        assert not np.allclose(rnn(Tensor(data)).data,
+                               rnn(Tensor(reversed_data)).data)
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            StackedRNN(3, 4, rng)(Tensor(np.ones((2, 3))))
+
+    def test_wrong_input_dim_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            StackedRNN(3, 4, rng)(Tensor(np.ones((2, 5, 7))))
+
+    def test_wrong_mask_shape_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            StackedRNN(3, 4, rng)(Tensor(np.ones((2, 5, 3))),
+                                  mask=np.ones((2, 4), dtype=bool))
+
+    def test_zero_layers_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            StackedRNN(3, 4, rng, num_layers=0)
+
+    def test_gradients_flow_through_time(self, rng):
+        rnn = StackedRNN(2, 3, rng, num_layers=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 2)),
+                   requires_grad=True)
+        check_gradients(lambda: (rnn(x) ** 2).sum(),
+                        [x] + rnn.parameters())
+
+    def test_gradients_with_mask(self, rng):
+        rnn = StackedRNN(2, 3, rng, num_layers=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 2)),
+                   requires_grad=True)
+        mask = np.array([[True, True, True, False],
+                         [True, False, False, False]])
+        check_gradients(lambda: (rnn(x, mask=mask) ** 2).sum(),
+                        [x] + rnn.parameters())
+
+
+class TestBidirectionalRNN:
+    def test_output_dim_doubled(self, rng):
+        birnn = BidirectionalRNN(3, 5, rng)
+        assert birnn.output_dim == 10
+        assert birnn(Tensor(np.ones((2, 4, 3)))).shape == (2, 10)
+
+    def test_halves_are_forward_and_backward(self, rng):
+        birnn = BidirectionalRNN(3, 5, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3)))
+        out = birnn(x)
+        np.testing.assert_allclose(out.data[:, :5], birnn.forward_rnn(x).data)
+        np.testing.assert_allclose(out.data[:, 5:], birnn.backward_rnn(x).data)
+
+    def test_palindrome_symmetry(self, rng):
+        """On a time-symmetric input, forward and backward agree."""
+        birnn = BidirectionalRNN(2, 4, rng)
+        birnn.backward_rnn.load_state_dict(birnn.forward_rnn.state_dict())
+        step = np.random.default_rng(0).normal(size=(1, 1, 2))
+        x = Tensor(np.concatenate([step, step, step], axis=1))
+        out = birnn(x).data
+        np.testing.assert_allclose(out[:, :4], out[:, 4:])
+
+    def test_mask_respected_both_directions(self, rng):
+        birnn = BidirectionalRNN(2, 3, rng)
+        data = np.random.default_rng(0).normal(size=(1, 5, 2))
+        mask = np.array([[True, True, True, False, False]])
+        masked = birnn(Tensor(data), mask=mask).data
+        short = birnn(Tensor(data[:, :3, :])).data
+        np.testing.assert_allclose(masked, short)
+
+    def test_gradcheck(self, rng):
+        birnn = BidirectionalRNN(2, 3, rng, num_layers=2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 2)),
+                   requires_grad=True)
+        check_gradients(lambda: (birnn(x) ** 2).sum(),
+                        [x] + birnn.parameters())

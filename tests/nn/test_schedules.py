@@ -1,0 +1,111 @@
+"""Tests for learning-rate schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Dense, SGD
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    LearningRateScheduler,
+    StepDecay,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule.rate_at(0) == schedule.rate_at(100) == 0.1
+
+    def test_step_decay(self):
+        schedule = StepDecay(1.0, factor=0.5, step_epochs=10)
+        assert schedule.rate_at(0) == 1.0
+        assert schedule.rate_at(9) == 1.0
+        assert schedule.rate_at(10) == 0.5
+        assert schedule.rate_at(25) == 0.25
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecay(1.0, decay=0.1)
+        assert schedule.rate_at(0) == 1.0
+        assert schedule.rate_at(10) == pytest.approx(math.exp(-1.0))
+
+    def test_exponential_zero_decay_is_constant(self):
+        schedule = ExponentialDecay(0.5, decay=0.0)
+        assert schedule.rate_at(50) == 0.5
+
+    def test_cosine_endpoints(self):
+        schedule = CosineAnnealing(1.0, total_epochs=100, min_rate=0.1)
+        assert schedule.rate_at(0) == pytest.approx(1.0)
+        assert schedule.rate_at(100) == pytest.approx(0.1)
+        assert schedule.rate_at(50) == pytest.approx(0.55)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineAnnealing(1.0, total_epochs=20)
+        rates = [schedule.rate_at(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_cosine_clamps_past_horizon(self):
+        schedule = CosineAnnealing(1.0, total_epochs=10, min_rate=0.2)
+        assert schedule.rate_at(50) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ConfigurationError):
+            StepDecay(1.0, factor=0.0)
+        with pytest.raises(ConfigurationError):
+            StepDecay(1.0, step_epochs=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(1.0, decay=-1.0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(1.0, total_epochs=0)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealing(1.0, total_epochs=10, min_rate=2.0)
+
+
+class TestSchedulerCallback:
+    def test_applies_rate_per_epoch(self, rng):
+        model = Dense(2, 2, rng)
+        optimizer = SGD(model.parameters(), learning_rate=1.0)
+        scheduler = LearningRateScheduler(optimizer,
+                                          StepDecay(1.0, 0.5, step_epochs=1))
+        scheduler.on_train_begin(model)
+        assert optimizer.learning_rate == 1.0
+        logs = {}
+        scheduler.on_epoch_end(model, 0, logs)
+        assert logs["learning_rate"] == 1.0  # rate used during epoch 0
+        assert optimizer.learning_rate == 0.5  # rate for epoch 1
+
+    def test_integrates_with_trainer(self, rng):
+        import numpy as np
+        from repro.nn import Trainer, softmax_cross_entropy_with_logits
+        from repro.nn.module import Module
+        from repro.autograd import Tensor
+
+        class Wrapper(Module):
+            def __init__(self):
+                super().__init__()
+                self.dense = Dense(2, 2, rng, activation="softmax")
+
+            def forward(self, features):
+                return self.dense(Tensor(features["x"]))
+
+        model = Wrapper()
+        optimizer = SGD(model.parameters(), learning_rate=0.5)
+        scheduler = LearningRateScheduler(
+            optimizer, ExponentialDecay(0.5, decay=0.5))
+        trainer = Trainer(
+            model=model, optimizer=optimizer,
+            loss_fn=lambda p, y: softmax_cross_entropy_with_logits(
+                (p + 1e-9).log(), y),
+            callbacks=(scheduler,))
+        x = rng.normal(size=(20, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        history = trainer.fit({"x": x}, y, epochs=4, batch_size=10)
+        rates = history.series("learning_rate")
+        assert len(rates) == 4
+        assert all(a > b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,168 @@
+"""Tests for the repair subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.errors import DataError
+from repro.repair import (
+    FormatRepairer,
+    FrequentValueRepairer,
+    MajorityGroupRepairer,
+    RepairPipeline,
+    repair_accuracy,
+)
+from repro.table import Table
+
+
+class TestFormatRepairer:
+    @pytest.fixture
+    def column_table(self):
+        return Table({
+            "count": ["1000", "2500", "379,998", "4200", "8800",
+                      "123", "77", "900", "41", "5600"],
+            "rate": ["7", "8", "9.0", "5", "3", "2", "6", "4", "9", "8"],
+            "zip": ["01907", "02114", "1907", "03591", "04005",
+                    "11230", "90210", "33109", "60601", "73301"],
+            "abv": ["0.05", "0.061%", "0.07", "0.04", "0.09",
+                    "0.06", "0.08", "0.03", "0.05", "0.07"],
+        })
+
+    def test_strips_thousands_separator(self, column_table):
+        repairer = FormatRepairer().fit(column_table)
+        repair = repairer.suggest(2, "count", "379,998")
+        assert repair is not None
+        assert repair.new_value == "379998"
+
+    def test_strips_decimal_suffix(self, column_table):
+        repairer = FormatRepairer().fit(column_table)
+        assert repairer.suggest(2, "rate", "9.0").new_value == "9"
+
+    def test_repads_leading_zero(self, column_table):
+        repairer = FormatRepairer().fit(column_table)
+        assert repairer.suggest(2, "zip", "1907").new_value == "01907"
+
+    def test_strips_percent(self, column_table):
+        repairer = FormatRepairer().fit(column_table)
+        assert repairer.suggest(1, "abv", "0.061%").new_value == "0.061"
+
+    def test_strips_unit_suffix(self):
+        table = Table({"oz": ["12.0", "16.0", "12.0 oz", "8.4", "19.2"]})
+        repairer = FormatRepairer().fit(table)
+        assert repairer.suggest(2, "oz", "12.0 oz").new_value == "12.0"
+
+    def test_abstains_on_conforming_value(self, column_table):
+        repairer = FormatRepairer().fit(column_table)
+        assert repairer.suggest(0, "count", "1000") is None
+
+    def test_abstains_without_dominant_pattern(self):
+        table = Table({"x": ["1", "a-b", "??", "x9x", "..."]})
+        repairer = FormatRepairer().fit(table)
+        assert repairer.suggest(0, "x", "1") is None
+
+    def test_abstains_on_empty_value(self, column_table):
+        repairer = FormatRepairer().fit(column_table)
+        assert repairer.suggest(0, "count", "") is None
+
+
+class TestFrequentValueRepairer:
+    def test_suggests_modal_value(self):
+        table = Table({"state": ["CA"] * 18 + ["Cx", "NY"]})
+        repairer = FrequentValueRepairer(max_cardinality_ratio=0.5).fit(table)
+        assert repairer.suggest(18, "state", "Cx").new_value == "CA"
+
+    def test_skips_high_cardinality(self):
+        table = Table({"name": [f"n{i}" for i in range(30)]})
+        repairer = FrequentValueRepairer().fit(table)
+        assert repairer.suggest(0, "name", "n0") is None
+
+    def test_abstains_when_already_modal(self):
+        table = Table({"state": ["CA"] * 19 + ["NY"]})
+        repairer = FrequentValueRepairer(max_cardinality_ratio=0.5).fit(table)
+        assert repairer.suggest(0, "state", "CA") is None
+
+
+class TestMajorityGroupRepairer:
+    @pytest.fixture
+    def grouped(self):
+        return Table({
+            "flight": ["UA-1", "UA-1", "UA-1", "DL-2"],
+            "dep": ["9:00", "9:20", "9:00", "8:00"],
+        })
+
+    def test_repairs_to_group_majority(self, grouped):
+        repairer = MajorityGroupRepairer(("flight",)).fit(grouped)
+        repair = repairer.suggest(1, "dep", "9:20")
+        assert repair.new_value == "9:00"
+        assert repair.confidence == pytest.approx(2 / 3)
+
+    def test_abstains_on_majority_value(self, grouped):
+        repairer = MajorityGroupRepairer(("flight",)).fit(grouped)
+        assert repairer.suggest(0, "dep", "9:00") is None
+
+    def test_abstains_on_singleton_group(self, grouped):
+        repairer = MajorityGroupRepairer(("flight",)).fit(grouped)
+        assert repairer.suggest(3, "dep", "8:00") is None
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(DataError):
+            MajorityGroupRepairer(())
+
+
+class TestRepairPipeline:
+    def test_beers_formatting_repairs_are_exact(self):
+        """Format repairs on Beers must reproduce the clean values."""
+        pair = load("beers", n_rows=200, seed=1)
+        mask = np.array(pair.error_mask())
+        pipeline = RepairPipeline([FormatRepairer(), FrequentValueRepairer()])
+        outcome = pipeline.run(pair.dirty, mask)
+        assert outcome.n_applied > 20
+        assert repair_accuracy(outcome, pair.clean) > 0.9
+
+    def test_flights_majority_repairs(self):
+        pair = load("flights", n_rows=120, seed=1)
+        mask = np.array(pair.error_mask())
+        pipeline = RepairPipeline([MajorityGroupRepairer(("flight",))])
+        outcome = pipeline.run(pair.dirty, mask)
+        assert outcome.n_applied > 50
+        assert repair_accuracy(outcome, pair.clean) > 0.8
+
+    def test_unflagged_cells_untouched(self):
+        pair = load("beers", n_rows=60, seed=1)
+        mask = np.zeros(pair.dirty.shape, dtype=bool)
+        outcome = RepairPipeline([FormatRepairer()]).run(pair.dirty, mask)
+        assert outcome.repaired == pair.dirty
+        assert outcome.n_applied == 0
+
+    def test_unrepaired_cells_reported(self):
+        table = Table({"x": ["weird1", "weird2", "weird3"]})
+        mask = np.array([[True], [False], [False]])
+        outcome = RepairPipeline([FrequentValueRepairer()]).run(table, mask)
+        assert outcome.unrepaired == ((0, "x"),)
+
+    def test_highest_confidence_wins(self):
+        table = Table({
+            "flight": ["UA-1", "UA-1", "UA-1"],
+            "dep": ["9:00", "9:20", "9:00"],
+        })
+        mask = np.zeros((3, 2), dtype=bool)
+        mask[1, 1] = True
+        pipeline = RepairPipeline([
+            FrequentValueRepairer(max_cardinality_ratio=1.0),
+            MajorityGroupRepairer(("flight",)),
+        ], min_confidence=0.0)
+        outcome = pipeline.run(table, mask)
+        assert outcome.applied[0].repairer == "majority_group"
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            RepairPipeline([])
+        table = Table({"x": ["a"]})
+        with pytest.raises(DataError):
+            RepairPipeline([FormatRepairer()]).run(table, np.zeros((2, 2)))
+
+    def test_repair_accuracy_no_repairs(self):
+        pair = load("beers", n_rows=50, seed=1)
+        mask = np.zeros(pair.dirty.shape, dtype=bool)
+        outcome = RepairPipeline([FormatRepairer()]).run(pair.dirty, mask)
+        assert repair_accuracy(outcome, pair.clean) == 0.0

@@ -1,0 +1,81 @@
+"""Property-based tests for the repair pipeline."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.repair import FormatRepairer, FrequentValueRepairer, RepairPipeline
+from repro.table import Table
+
+value = st.text(string.ascii_letters + string.digits + ".,%", min_size=1,
+                max_size=8)
+
+
+@st.composite
+def tables_with_masks(draw):
+    n_rows = draw(st.integers(3, 15))
+    table = Table({
+        "a": draw(st.lists(value, min_size=n_rows, max_size=n_rows)),
+        "b": draw(st.lists(value, min_size=n_rows, max_size=n_rows)),
+    })
+    mask = np.array(draw(st.lists(
+        st.tuples(st.booleans(), st.booleans()),
+        min_size=n_rows, max_size=n_rows)))
+    return table, mask
+
+
+@given(tables_with_masks())
+@settings(max_examples=40, deadline=None)
+def test_unflagged_cells_never_change(payload):
+    table, mask = payload
+    outcome = RepairPipeline([FormatRepairer(),
+                              FrequentValueRepairer()]).run(table, mask)
+    for j, name in enumerate(table.column_names):
+        for i in range(table.n_rows):
+            if not mask[i, j]:
+                assert outcome.repaired.column(name)[i] == \
+                    table.column(name)[i]
+
+
+@given(tables_with_masks())
+@settings(max_examples=40, deadline=None)
+def test_ledger_partition(payload):
+    """Every flagged cell is either repaired or reported unrepaired."""
+    table, mask = payload
+    outcome = RepairPipeline([FormatRepairer(),
+                              FrequentValueRepairer()]).run(table, mask)
+    flagged = {(i, name)
+               for j, name in enumerate(table.column_names)
+               for i in range(table.n_rows) if mask[i, j]}
+    repaired = {(r.row, r.attribute) for r in outcome.applied}
+    unrepaired = set(outcome.unrepaired)
+    assert repaired | unrepaired == flagged
+    assert repaired & unrepaired == set()
+
+
+@given(tables_with_masks())
+@settings(max_examples=40, deadline=None)
+def test_applied_repairs_change_the_value(payload):
+    table, mask = payload
+    outcome = RepairPipeline([FormatRepairer(),
+                              FrequentValueRepairer()]).run(table, mask)
+    for repair in outcome.applied:
+        assert repair.new_value != repair.old_value
+        assert outcome.repaired.column(repair.attribute)[repair.row] == \
+            repair.new_value
+
+
+@given(tables_with_masks())
+@settings(max_examples=30, deadline=None)
+def test_pipeline_idempotent_on_repaired_output(payload):
+    """Re-running on the repaired table with the same still-flagged mask
+    applies no *format* repair twice (repairs converge)."""
+    table, mask = payload
+    pipeline = RepairPipeline([FormatRepairer()])
+    first = pipeline.run(table, mask)
+    second = RepairPipeline([FormatRepairer()]).run(first.repaired, mask)
+    repaired_once = {(r.row, r.attribute) for r in first.applied}
+    repaired_twice = {(r.row, r.attribute) for r in second.applied}
+    assert repaired_once.isdisjoint(repaired_twice)

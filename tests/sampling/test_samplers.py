@@ -1,0 +1,152 @@
+"""Tests for the three trainset-selection algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep import prepare
+from repro.errors import SamplingError
+from repro.sampling import DiverSet, RahaSet, RandomSet
+from repro.sampling.raha_set import dirty_wide_view
+from repro.table import Table
+
+
+@pytest.fixture
+def prepared(paper_example):
+    dirty, clean = paper_example
+    return prepare(dirty, clean)
+
+
+@pytest.fixture
+def figure4_prepared():
+    """The running example of Figure 3/4: 3 tuples x 3 attributes.
+
+    Tuple 0 has an empty attr3 value; tuples 1 and 2 share no values
+    with tuple 0.
+    """
+    dirty = Table({
+        "attr1": ["a1", "b1", "c1"],
+        "attr2": ["e3", "b2", "c2"],
+        "attr3": ["", "b3", "c3"],
+    })
+    return prepare(dirty, dirty)
+
+
+class TestRandomSet:
+    def test_returns_requested_count(self, prepared, rng):
+        assert len(RandomSet().select(3, prepared, rng)) == 3
+
+    def test_ids_distinct_and_valid(self, prepared, rng):
+        ids = RandomSet().select(4, prepared, rng)
+        assert len(set(ids)) == 4
+        assert set(ids) <= {0, 1, 2, 3, 4}
+
+    def test_deterministic_given_seed(self, prepared):
+        a = RandomSet().select(3, prepared, np.random.default_rng(7))
+        b = RandomSet().select(3, prepared, np.random.default_rng(7))
+        assert a == b
+
+    def test_different_seeds_differ(self, prepared):
+        draws = {
+            tuple(RandomSet().select(3, prepared, np.random.default_rng(s)))
+            for s in range(20)
+        }
+        assert len(draws) > 1
+
+    def test_n_obs_validation(self, prepared, rng):
+        with pytest.raises(SamplingError):
+            RandomSet().select(0, prepared, rng)
+        with pytest.raises(SamplingError):
+            RandomSet().select(6, prepared, rng)
+
+
+class TestDiverSet:
+    def test_figure4_first_pick_is_tuple_zero(self, figure4_prepared, rng):
+        """Tuple 0 wins the first round via the empty-value tie-break."""
+        ids = DiverSet().select(1, figure4_prepared, rng)
+        assert ids == [0]
+
+    def test_figure4_two_picks(self, figure4_prepared):
+        """Second pick is tuple 1 or 2 (random tie-break), never 0 again."""
+        for seed in range(10):
+            ids = DiverSet().select(2, figure4_prepared,
+                                    np.random.default_rng(seed))
+            assert ids[0] == 0
+            assert ids[1] in (1, 2)
+
+    def test_prefers_unseen_values(self):
+        """A tuple duplicating seen values loses to one with fresh values."""
+        dirty = Table({
+            "a": ["x", "x", "q"],
+            "b": ["y", "y", "r"],
+            "c": ["", "z", "s"],
+        })
+        prepared = prepare(dirty, dirty)
+        ids = DiverSet().select(2, prepared, np.random.default_rng(0))
+        # After picking tuple 0 (empty tie-break), tuple 1 has only one
+        # unseen value ('z') while tuple 2 has three.
+        assert ids[0] == 0
+        assert ids[1] == 2
+
+    def test_exhausted_values_falls_back_to_random(self):
+        """All-identical tuples: every id still gets selected exactly once."""
+        dirty = Table({"a": ["x"] * 4, "b": ["y"] * 4})
+        prepared = prepare(dirty, dirty)
+        ids = DiverSet().select(3, prepared, np.random.default_rng(0))
+        assert len(set(ids)) == 3
+
+    def test_no_duplicates(self, prepared, rng):
+        ids = DiverSet().select(4, prepared, rng)
+        assert len(set(ids)) == 4
+
+    def test_deterministic_given_seed(self, prepared):
+        a = DiverSet().select(3, prepared, np.random.default_rng(3))
+        b = DiverSet().select(3, prepared, np.random.default_rng(3))
+        assert a == b
+
+    def test_does_not_use_labels(self, paper_example):
+        """Same dirty data with different clean data gives the same sample."""
+        dirty, clean = paper_example
+        sample_with_clean = DiverSet().select(
+            3, prepare(dirty, clean), np.random.default_rng(0))
+        sample_self = DiverSet().select(
+            3, prepare(dirty, dirty), np.random.default_rng(0))
+        assert sample_with_clean == sample_self
+
+    def test_validation(self, prepared, rng):
+        with pytest.raises(SamplingError):
+            DiverSet().select(99, prepared, rng)
+
+
+class TestRahaSet:
+    def test_returns_requested_count(self, prepared, rng):
+        assert len(RahaSet().select(3, prepared, rng)) == 3
+
+    def test_ids_valid_and_distinct(self, prepared, rng):
+        ids = RahaSet().select(3, prepared, rng)
+        assert len(set(ids)) == 3
+        assert set(ids) <= {0, 1, 2, 3, 4}
+
+    def test_deterministic_given_seed(self, prepared):
+        a = RahaSet().select(3, prepared, np.random.default_rng(5))
+        b = RahaSet().select(3, prepared, np.random.default_rng(5))
+        assert a == b
+
+    def test_validation(self, prepared, rng):
+        with pytest.raises(SamplingError):
+            RahaSet().select(0, prepared, rng)
+
+
+class TestDirtyWideView:
+    def test_reconstructs_dirty_table(self, paper_example):
+        dirty, clean = paper_example
+        prepared = prepare(dirty, clean)
+        wide = dirty_wide_view(prepared)
+        assert wide.column_names == ["A", "Sal", "ZIP", "City"]
+        assert wide.n_rows == 5
+        assert wide.column("City").values == (
+            "NaN", "Romr", "Paris", "Berlin", "Vienna")
+
+    def test_never_exposes_clean_values(self, paper_example):
+        dirty, clean = paper_example
+        wide = dirty_wide_view(prepare(dirty, clean))
+        assert "Rome" not in wide.column("City").values

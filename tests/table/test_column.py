@@ -1,0 +1,103 @@
+"""Tests for repro.table.column."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import Column
+
+
+class TestConstruction:
+    def test_values_are_immutable_tuple(self):
+        col = Column("a", [1, 2, 3])
+        assert col.values == (1, 2, 3)
+        assert isinstance(col.values, tuple)
+
+    def test_name_property(self):
+        assert Column("salary", []).name == "salary"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", [1])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column(42, [1])
+
+    def test_accepts_generator(self):
+        col = Column("a", (i * 2 for i in range(3)))
+        assert col.values == (0, 2, 4)
+
+
+class TestProtocol:
+    def test_len(self):
+        assert len(Column("a", [1, 2])) == 2
+
+    def test_iteration(self):
+        assert list(Column("a", "xyz")) == ["x", "y", "z"]
+
+    def test_indexing(self):
+        col = Column("a", [10, 20, 30])
+        assert col[0] == 10
+        assert col[-1] == 30
+
+    def test_slicing_returns_column(self):
+        col = Column("a", [10, 20, 30])[1:]
+        assert isinstance(col, Column)
+        assert col.values == (20, 30)
+
+    def test_equality_includes_name(self):
+        assert Column("a", [1]) == Column("a", [1])
+        assert Column("a", [1]) != Column("b", [1])
+
+    def test_hashable(self):
+        assert len({Column("a", [1]), Column("a", [1])}) == 1
+
+    def test_repr_previews_values(self):
+        text = repr(Column("a", list(range(10))))
+        assert "..." in text
+        assert "a" in text
+
+
+class TestTransformations:
+    def test_rename(self):
+        renamed = Column("a", [1]).rename("b")
+        assert renamed.name == "b"
+        assert renamed.values == (1,)
+
+    def test_map(self):
+        assert Column("a", [1, 2]).map(lambda v: v + 1).values == (2, 3)
+
+    def test_map_preserves_name(self):
+        assert Column("a", [1]).map(str).name == "a"
+
+    def test_take(self):
+        assert Column("a", "abcd").take([3, 0]).values == ("d", "a")
+
+    def test_astype_str_keeps_none(self):
+        assert Column("a", [1, None]).astype_str().values == ("1", None)
+
+
+class TestSummaries:
+    def test_is_missing(self):
+        assert Column("a", [1, None, 2]).is_missing() == [False, True, False]
+
+    def test_n_missing(self):
+        assert Column("a", [None, None, 1]).n_missing() == 2
+
+    def test_unique_preserves_order(self):
+        assert Column("a", [3, 1, 3, 2, 1]).unique() == [3, 1, 2]
+
+    def test_unique_includes_none(self):
+        assert Column("a", [None, 1, None]).unique() == [None, 1]
+
+    def test_value_counts(self):
+        assert Column("a", ["x", "y", "x"]).value_counts() == {"x": 2, "y": 1}
+
+    def test_equals_mask(self):
+        a = Column("a", [1, None, 3])
+        b = Column("b", [1, None, 4])
+        assert a.equals_mask(b) == [True, True, False]
+
+    def test_equals_mask_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            Column("a", [1]).equals_mask(Column("b", [1, 2]))

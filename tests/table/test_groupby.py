@@ -1,0 +1,108 @@
+"""Tests for repro.table.groupby."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import Table
+
+
+@pytest.fixture
+def sales() -> Table:
+    return Table({
+        "region": ["n", "s", "n", "n", "s"],
+        "product": ["a", "a", "b", "a", "b"],
+        "units": [1, 2, 3, None, 5],
+    })
+
+
+class TestGrouping:
+    def test_group_count(self, sales):
+        assert len(sales.groupby("region")) == 2
+
+    def test_group_indices(self, sales):
+        indices = sales.groupby("region").group_indices()
+        assert indices[("n",)] == [0, 2, 3]
+        assert indices[("s",)] == [1, 4]
+
+    def test_multi_key(self, sales):
+        grouped = sales.groupby(["region", "product"])
+        assert len(grouped) == 4
+
+    def test_groups_iteration(self, sales):
+        keys = [key for key, _ in sales.groupby("region").groups()]
+        assert keys == [("n",), ("s",)]  # first-seen order
+
+    def test_sub_tables(self, sales):
+        for key, sub in sales.groupby("region").groups():
+            assert set(sub.column("region").values) == {key[0]}
+
+    def test_empty_keys_rejected(self, sales):
+        with pytest.raises(SchemaError):
+            sales.groupby([])
+
+    def test_unknown_key_rejected(self, sales):
+        with pytest.raises(SchemaError):
+            sales.groupby("ghost")
+
+
+class TestAggregation:
+    def test_size(self, sales):
+        out = sales.groupby("region").size()
+        assert out.to_rows() == [
+            {"region": "n", "size": 3}, {"region": "s", "size": 2}]
+
+    def test_size_custom_name(self, sales):
+        out = sales.groupby("region").size(name="cnt")
+        assert "cnt" in out
+
+    def test_count(self, sales):
+        out = sales.groupby("region").count("units")
+        assert out.column("units").values == (3, 2)
+
+    def test_count_renamed(self, sales):
+        out = sales.groupby("region").count("units", name="n_units")
+        assert out.column("n_units").values == (3, 2)
+
+    def test_sum_skips_missing(self, sales):
+        out = sales.groupby("region").sum("units")
+        assert out.column("units").values == (4, 7)
+
+    def test_agg_mean(self, sales):
+        out = sales.groupby("region").agg({"units": "mean"})
+        assert out.column("units").values == (2.0, 3.5)
+
+    def test_agg_min_max(self, sales):
+        grouped = sales.groupby("region")
+        assert grouped.agg({"units": "min"}).column("units").values == (1, 2)
+        assert grouped.agg({"units": "max"}).column("units").values == (3, 5)
+
+    def test_agg_first_last(self, sales):
+        grouped = sales.groupby("region")
+        assert grouped.agg({"product": "first"}).column("product").values == ("a", "a")
+        assert grouped.agg({"product": "last"}).column("product").values == ("a", "b")
+
+    def test_agg_nunique(self, sales):
+        out = sales.groupby("region").agg({"product": "nunique"})
+        assert out.column("product").values == (2, 2)
+
+    def test_agg_list(self, sales):
+        out = sales.groupby("region").agg({"product": "list"})
+        assert out.column("product")[0] == ["a", "b", "a"]
+
+    def test_agg_callable(self, sales):
+        out = sales.groupby("region").agg(
+            {"units": lambda vs: sum(v or 0 for v in vs) * 10})
+        assert out.column("units").values == (40, 70)
+
+    def test_agg_all_missing_mean_is_none(self):
+        table = Table({"k": ["x"], "v": [None]})
+        out = table.groupby("k").agg({"v": "mean"})
+        assert out.column("v")[0] is None
+
+    def test_agg_unknown_aggregator(self, sales):
+        with pytest.raises(SchemaError, match="unknown aggregator"):
+            sales.groupby("region").agg({"units": "median"})
+
+    def test_agg_unknown_column(self, sales):
+        with pytest.raises(SchemaError):
+            sales.groupby("region").agg({"ghost": "sum"})

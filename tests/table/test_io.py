@@ -1,0 +1,79 @@
+"""Tests for repro.table.io (CSV round-tripping)."""
+
+import pytest
+
+from repro.errors import CSVFormatError
+from repro.table import Table, read_csv, write_csv
+
+
+class TestReadCsv:
+    def test_round_trip(self, tmp_path, people):
+        path = tmp_path / "people.csv"
+        write_csv(people, path)
+        loaded = read_csv(path)
+        assert loaded.column("name").values == people.column("name").values
+
+    def test_all_cells_read_as_strings(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2.5\n")
+        loaded = read_csv(path)
+        assert loaded.column("a").values == ("1",)
+        assert loaded.column("b").values == ("2.5",)
+
+    def test_nan_kept_literal_by_default(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\nNaN\n")
+        assert read_csv(path).column("a").values == ("NaN",)
+
+    def test_missing_markers_converted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\nNaN\nx\n")
+        loaded = read_csv(path, missing_markers=["NaN"])
+        assert loaded.column("a").values == (None, "x")
+
+    def test_quoted_commas_preserved(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text('a,b\n"x,y",z\n')
+        assert read_csv(path).column("a").values == ("x,y",)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(CSVFormatError, match="empty"):
+            read_csv(path)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,a\n1,2\n")
+        with pytest.raises(CSVFormatError, match="duplicate"):
+            read_csv(path)
+
+    def test_ragged_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(CSVFormatError, match=":3"):
+            read_csv(path)
+
+
+class TestWriteCsv:
+    def test_none_written_as_marker(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(Table({"a": [None, "x"]}), path, missing_marker="NULL")
+        assert path.read_text().splitlines() == ["a", "NULL", "x"]
+
+    def test_header_order_matches_table(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(Table({"b": [1], "a": [2]}), path)
+        assert path.read_text().splitlines()[0] == "b,a"
+
+    def test_non_string_cells_stringified(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(Table({"a": [1, 2.5]}), path)
+        assert read_csv(path).column("a").values == ("1", "2.5")
+
+    def test_dirty_clean_pair_round_trip(self, tmp_path, paper_example):
+        dirty, clean = paper_example
+        write_csv(dirty, tmp_path / "dirty.csv")
+        write_csv(clean, tmp_path / "clean.csv")
+        assert read_csv(tmp_path / "dirty.csv") == dirty
+        assert read_csv(tmp_path / "clean.csv") == clean

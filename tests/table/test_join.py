@@ -1,0 +1,103 @@
+"""Tests for repro.table.join."""
+
+import pytest
+
+from repro.errors import JoinError, SchemaError
+from repro.table import Table
+
+
+@pytest.fixture
+def left() -> Table:
+    return Table({
+        "id": [0, 1, 2],
+        "attr": ["a", "a", "b"],
+        "value": ["x0", "x1", "x2"],
+    })
+
+
+@pytest.fixture
+def right() -> Table:
+    return Table({
+        "id": [0, 1, 3],
+        "attr": ["a", "a", "b"],
+        "value": ["y0", "y1", "y3"],
+    })
+
+
+class TestInnerJoin:
+    def test_suffixes_applied(self, left, right):
+        out = left.merge(right, on=["id", "attr"])
+        assert out.column_names == ["id", "attr", "value_x", "value_y"]
+
+    def test_matching_rows_only(self, left, right):
+        out = left.merge(right, on=["id", "attr"])
+        assert out.n_rows == 2
+        assert out.column("value_x").values == ("x0", "x1")
+        assert out.column("value_y").values == ("y0", "y1")
+
+    def test_single_key_string(self, left, right):
+        out = left.merge(right, on="id")
+        assert out.n_rows == 2
+        assert "attr_x" in out and "attr_y" in out
+
+    def test_one_to_many_fanout(self):
+        a = Table({"k": [1], "v": ["a"]})
+        b = Table({"k": [1, 1], "w": ["x", "y"]})
+        out = a.merge(b, on="k")
+        assert out.n_rows == 2
+        assert out.column("w").values == ("x", "y")
+
+    def test_no_suffix_for_disjoint_columns(self):
+        a = Table({"k": [1], "v": ["a"]})
+        b = Table({"k": [1], "w": ["x"]})
+        out = a.merge(b, on="k")
+        assert out.column_names == ["k", "v", "w"]
+
+
+class TestLeftAndOuter:
+    def test_left_join_fills_none(self, left, right):
+        out = left.merge(right, on=["id", "attr"], how="left")
+        assert out.n_rows == 3
+        assert out.column("value_y").values == ("y0", "y1", None)
+
+    def test_outer_join_includes_right_only(self, left, right):
+        out = left.merge(right, on=["id", "attr"], how="outer")
+        assert out.n_rows == 4
+        last = out.row(3)
+        assert last["id"] == 3
+        assert last["value_x"] is None
+        assert last["value_y"] == "y3"
+
+    def test_none_keys_match_each_other(self):
+        a = Table({"k": [None], "v": ["a"]})
+        b = Table({"k": [None], "w": ["x"]})
+        assert a.merge(b, on="k").n_rows == 1
+
+
+class TestValidation:
+    def test_invalid_how(self, left, right):
+        with pytest.raises(JoinError):
+            left.merge(right, on="id", how="cross")
+
+    def test_empty_keys(self, left, right):
+        with pytest.raises(JoinError):
+            left.merge(right, on=[])
+
+    def test_missing_key_left(self, right):
+        with pytest.raises(SchemaError):
+            Table({"z": [1]}).merge(right, on="id")
+
+    def test_missing_key_right(self, left):
+        with pytest.raises(SchemaError):
+            left.merge(Table({"z": [1]}), on="id")
+
+    def test_custom_suffixes(self, left, right):
+        out = left.merge(right, on=["id", "attr"],
+                         suffixes=("_dirty", "_clean"))
+        assert "value_dirty" in out and "value_clean" in out
+
+    def test_left_row_order_preserved(self):
+        a = Table({"k": [3, 1, 2], "v": ["c", "a", "b"]})
+        b = Table({"k": [1, 2, 3], "w": ["x", "y", "z"]})
+        out = a.merge(b, on="k")
+        assert out.column("v").values == ("c", "a", "b")

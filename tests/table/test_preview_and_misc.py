@@ -1,0 +1,59 @@
+"""Additional table-substrate coverage: preview, unicode CSV, outer joins."""
+
+import pytest
+
+from repro.table import Table, read_csv, write_csv
+
+
+class TestPreview:
+    def test_empty_table_preview(self):
+        text = Table({"a": []}).preview()
+        assert "a" in text
+
+    def test_none_rendered(self):
+        text = Table({"a": [None]}).preview()
+        assert "None" in text
+
+    def test_exact_fit_no_ellipsis(self):
+        text = Table({"a": [1, 2]}).preview(2)
+        assert "more rows" not in text
+
+
+class TestUnicodeCsv:
+    def test_unicode_round_trip(self, tmp_path):
+        table = Table({"city": ["Zürich", "東京", "Genève"]})
+        path = tmp_path / "u.csv"
+        write_csv(table, path)
+        assert read_csv(path) == table
+
+    def test_newlines_in_cells_quoted(self, tmp_path):
+        table = Table({"text": ["line1\nline2", "plain"]})
+        path = tmp_path / "n.csv"
+        write_csv(table, path)
+        assert read_csv(path).column("text")[0] == "line1\nline2"
+
+
+class TestOuterJoinMultiKey:
+    def test_none_in_one_key_component(self):
+        left = Table({"a": [1, None], "b": ["x", "y"], "v": ["l1", "l2"]})
+        right = Table({"a": [1, None], "b": ["x", "y"], "w": ["r1", "r2"]})
+        out = left.merge(right, on=["a", "b"], how="outer")
+        assert out.n_rows == 2  # None-containing keys still match exactly
+
+    def test_fully_disjoint_outer(self):
+        left = Table({"k": [1], "v": ["a"]})
+        right = Table({"k": [2], "w": ["b"]})
+        out = left.merge(right, on="k", how="outer")
+        assert out.n_rows == 2
+        rows = {r["k"]: r for r in out.iter_rows()}
+        assert rows[1]["w"] is None
+        assert rows[2]["v"] is None
+
+
+class TestGroupsSubTables:
+    def test_groups_yield_row_subsets(self):
+        table = Table({"k": ["a", "b", "a"], "v": [1, 2, 3]})
+        groups = dict()
+        for key, sub in table.groupby("k").groups():
+            groups[key] = list(sub.column("v").values)
+        assert groups == {("a",): [1, 3], ("b",): [2]}

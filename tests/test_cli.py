@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load
+from repro.table import read_csv, write_csv
+
+
+@pytest.fixture
+def csv_pair(tmp_path):
+    pair = load("hospital", n_rows=40, seed=3)
+    dirty = tmp_path / "dirty.csv"
+    clean = tmp_path / "clean.csv"
+    write_csv(pair.dirty, dirty)
+    write_csv(pair.clean, clean)
+    return dirty, clean
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.rows == 200
+
+    def test_detect_flags(self):
+        args = build_parser().parse_args([
+            "detect", "--dirty", "d.csv", "--clean", "c.csv",
+            "--arch", "tsb", "--epochs", "5", "--cell", "gru"])
+        assert args.arch == "tsb"
+        assert args.epochs == 5
+        assert args.cell == "gru"
+
+    def test_benchmark_validates_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["benchmark", "--dataset", "ghosts"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--rows", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "beers" in out
+        assert "Error Rate" in out
+
+    def test_detect_writes_csv(self, csv_pair, tmp_path, capsys):
+        dirty, clean = csv_pair
+        out_path = tmp_path / "errors.csv"
+        code = main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+                     "--epochs", "2", "--tuples", "6",
+                     "--out", str(out_path)])
+        assert code == 0
+        flagged = read_csv(out_path)
+        assert flagged.column_names == ["row", "attribute", "value"]
+
+    def test_detect_saves_model(self, csv_pair, tmp_path):
+        dirty, clean = csv_pair
+        model_path = tmp_path / "model.npz"
+        main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+              "--epochs", "2", "--tuples", "6", "--save", str(model_path),
+              "--out", str(tmp_path / "e.csv")])
+        from repro.models.serialization import load_detector
+        loaded = load_detector(model_path)
+        assert loaded.architecture == "etsb"
+
+    def test_repair_writes_table(self, csv_pair, tmp_path):
+        dirty, clean = csv_pair
+        out_path = tmp_path / "repaired.csv"
+        code = main(["repair", "--dirty", str(dirty), "--clean", str(clean),
+                     "--epochs", "2", "--tuples", "6", "--out", str(out_path)])
+        assert code == 0
+        repaired = read_csv(out_path)
+        original = read_csv(dirty)
+        assert repaired.shape == original.shape
+        assert repaired.column_names == original.column_names
+
+    def test_analyze_command(self, csv_pair, capsys):
+        dirty, clean = csv_pair
+        code = main(["analyze", "--dirty", str(dirty), "--clean", str(clean),
+                     "--epochs", "2", "--tuples", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attribute" in out
+
+    def test_benchmark_command(self, capsys):
+        code = main(["benchmark", "--dataset", "beers", "--rows", "40",
+                     "--runs", "1", "--epochs", "2", "--tuples", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1 =" in out
+
+
+class TestPredictCommand:
+    def test_predict_with_saved_model(self, csv_pair, tmp_path):
+        dirty, clean = csv_pair
+        model_path = tmp_path / "model.npz"
+        main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+              "--epochs", "2", "--tuples", "6", "--save", str(model_path),
+              "--out", str(tmp_path / "ignored.csv")])
+        out_path = tmp_path / "flagged.csv"
+        code = main(["predict", "--model", str(model_path),
+                     "--dirty", str(dirty), "--out", str(out_path)])
+        assert code == 0
+        flagged = read_csv(out_path)
+        assert flagged.column_names == ["row", "attribute", "value"]
+
+    def test_predict_no_matching_columns(self, csv_pair, tmp_path):
+        dirty, clean = csv_pair
+        model_path = tmp_path / "model.npz"
+        main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+              "--epochs", "2", "--tuples", "6", "--save", str(model_path),
+              "--out", str(tmp_path / "ignored.csv")])
+        other = tmp_path / "other.csv"
+        other.write_text("unrelated\nvalue\n")
+        assert main(["predict", "--model", str(model_path),
+                     "--dirty", str(other)]) == 1
