@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-full report examples clean
+.PHONY: install test bench bench-smoke bench-full report examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast regression gate: fails unless the fused RNN kernels are >= 2x
+# faster than the graph backend; records benchmarks/results/backend_speedup.txt.
+bench-smoke:
+	pytest benchmarks/test_substrate_microbench.py -m bench_smoke -q
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

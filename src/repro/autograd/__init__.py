@@ -16,8 +16,13 @@ Public API
     ``log_softmax``, ``embedding_lookup``, ``concat``, ...).
 :func:`~repro.autograd.gradcheck.check_gradients`
     Finite-difference validation of the analytic gradients.
+:class:`~repro.autograd.function.Function`
+    Base class for custom ops with hand-derived backwards (one autograd
+    node per op, however large), with
+    :func:`~repro.autograd.function.gradcheck_function` for validation.
 """
 
+from repro.autograd.function import Function, FunctionCtx, gradcheck_function
 from repro.autograd.gradcheck import check_gradients
 from repro.autograd.ops import (
     concat,
@@ -36,6 +41,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "check_gradients",
+    "Function",
+    "FunctionCtx",
+    "gradcheck_function",
     "concat",
     "embedding_lookup",
     "log_softmax",

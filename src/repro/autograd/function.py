@@ -1,0 +1,120 @@
+"""Custom autograd operations with hand-derived backward passes.
+
+A :class:`Function` packages an arbitrary numpy computation -- potentially
+a whole loop of recurrence steps -- into a *single* node of the autograd
+graph.  The forward pass receives raw numpy arrays, stashes whatever it
+needs on a :class:`FunctionCtx`, and the backward pass returns one
+gradient array per tensor input.
+
+This is the substrate for :mod:`repro.nn.kernels`: instead of recording
+thousands of tiny per-step nodes for an RNN sequence, the fused kernels
+run the full time loop inside one ``Function`` and hand-derive the
+backpropagation-through-time sweep.
+
+:func:`gradcheck_function` plugs any ``Function`` into the existing
+finite-difference checker so every hand-written backward is validated the
+same way as the built-in ops.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.gradcheck import check_gradients
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Function", "FunctionCtx", "gradcheck_function"]
+
+
+class FunctionCtx:
+    """Per-invocation scratch space shared between forward and backward.
+
+    ``forward`` may assign arbitrary attributes (saved activations,
+    flags, ...); ``backward`` reads them back.  :attr:`needs_input_grad`
+    mirrors ``requires_grad`` of the tensor inputs in order of
+    appearance, letting backward skip gradients nobody will consume.
+    """
+
+    def __init__(self, needs_input_grad: tuple[bool, ...]):
+        self.needs_input_grad = needs_input_grad
+
+
+class Function:
+    """Base class for custom ops with hand-derived gradients.
+
+    Subclasses implement two static methods::
+
+        class Square(Function):
+            @staticmethod
+            def forward(ctx, x):          # x: np.ndarray
+                ctx.x = x
+                return x * x
+
+            @staticmethod
+            def backward(ctx, grad):      # grad: np.ndarray
+                return (2.0 * ctx.x * grad,)
+
+    and are invoked through :meth:`apply`, which accepts a mix of
+    :class:`Tensor` and plain-python arguments.  Tensor arguments are
+    unwrapped to their numpy payloads before ``forward`` runs;
+    ``backward`` must return one gradient (or ``None``) per *tensor*
+    argument, in order of appearance.
+    """
+
+    @staticmethod
+    def forward(ctx: FunctionCtx, *args: Any) -> np.ndarray:
+        """Compute the op's output from raw numpy inputs."""
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: FunctionCtx, grad: np.ndarray
+                 ) -> tuple[np.ndarray | None, ...]:
+        """Gradients w.r.t. the tensor inputs, given the output gradient."""
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any) -> Tensor:
+        """Run ``forward`` and register the op as one autograd node."""
+        from repro.errors import GraphError
+
+        parents = tuple(a for a in args if isinstance(a, Tensor))
+        ctx = FunctionCtx(tuple(p.requires_grad for p in parents))
+        raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
+        data = cls.forward(ctx, *raw_args)
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data, dtype=np.float64)
+
+        def backward(grad: np.ndarray) -> None:
+            grads = cls.backward(ctx, grad)
+            if not isinstance(grads, tuple):
+                grads = (grads,)
+            if len(grads) != len(parents):
+                raise GraphError(
+                    f"{cls.__name__}.backward returned {len(grads)} gradients "
+                    f"for {len(parents)} tensor inputs"
+                )
+            for parent, parent_grad in zip(parents, grads):
+                if parent.requires_grad and parent_grad is not None:
+                    parent.accumulate_grad(parent_grad)
+
+        return Tensor.from_op(data, parents, backward)
+
+
+def gradcheck_function(function: type[Function], args: tuple[Any, ...],
+                       epsilon: float = 1e-6, atol: float = 1e-5,
+                       rtol: float = 1e-4) -> None:
+    """Finite-difference check of a :class:`Function`'s backward pass.
+
+    Re-applies ``function`` to ``args`` (tensors are perturbed in place by
+    the checker); non-scalar outputs are reduced with a sum of squares so
+    every output element contributes gradient signal.
+    """
+    tensors = [a for a in args if isinstance(a, Tensor) and a.requires_grad]
+
+    def fn() -> Tensor:
+        out = function.apply(*args)
+        return out if out.size == 1 else (out * out).sum()
+
+    check_gradients(fn, tensors, epsilon=epsilon, atol=atol, rtol=rtol)

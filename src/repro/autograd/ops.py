@@ -96,11 +96,23 @@ def embedding_lookup(weights: Tensor, indices: np.ndarray) -> Tensor:
     data = weights.data[indices]
 
     def backward(grad: np.ndarray) -> None:
-        if weights.requires_grad:
-            if weights.grad is None:
-                weights.grad = np.zeros_like(weights.data)
-            np.add.at(weights.grad, indices.reshape(-1),
-                      grad.reshape(-1, weights.data.shape[1]))
+        if not weights.requires_grad:
+            return
+        if weights.grad is None:
+            weights.grad = np.zeros_like(weights.data)
+        flat_idx = indices.reshape(-1)
+        if not flat_idx.size:
+            return
+        # Sorted segment-sum scatter: repeated indices are grouped and
+        # reduced per row, which is much faster than np.add.at's
+        # element-wise buffered loop on large batches.
+        order = np.argsort(flat_idx, kind="stable")
+        sorted_idx = flat_idx[order]
+        sorted_grad = grad.reshape(-1, weights.data.shape[1])[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(sorted_idx)) + 1))
+        weights.grad[sorted_idx[starts]] += np.add.reduceat(
+            sorted_grad, starts, axis=0)
 
     return Tensor.from_op(data, (weights,), backward)
 

@@ -57,6 +57,14 @@ def build_model(architecture: str, prepared: PreparedData,
 
 
 def _loss(probabilities, labels) -> object:
+    """Reference loss for models without a fused ``training_loss``.
+
+    TSB-RNN / ETSB-RNN define ``training_loss`` (which the
+    :class:`~repro.nn.training.Trainer` prefers and which dispatches to
+    the fused dense+softmax+BCE kernel on the default backend); this
+    plain composition computes the identical value and is kept as the
+    ``loss_fn`` fallback and for restored detectors.
+    """
     return categorical_cross_entropy(probabilities, one_hot(labels, 2))
 
 

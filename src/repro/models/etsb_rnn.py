@@ -19,6 +19,9 @@ from repro.autograd import Tensor, concat
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
 from repro.nn import BatchNorm1d, BidirectionalRNN, Dense, Embedding
+from repro.nn.backend import get_backend
+from repro.nn.kernels import dense_softmax_bce
+from repro.nn.losses import categorical_cross_entropy, one_hot
 from repro.nn.module import Module
 
 
@@ -62,16 +65,8 @@ class ETSBRNN(Module):
         self.norm = BatchNorm1d(config.head_units)
         self.classifier = Dense(config.head_units, 2, rng, activation="softmax")
 
-    def forward(self, features: dict[str, np.ndarray]) -> Tensor:
-        """Classify each cell; returns ``(batch, 2)`` softmax probabilities.
-
-        Parameters
-        ----------
-        features:
-            ``values`` -- ``(batch, max_length)`` character indices;
-            ``attributes`` -- ``(batch,)`` attribute indices;
-            ``length_norm`` -- ``(batch, 1)`` length ratios.
-        """
+    def _encode(self, features: dict[str, np.ndarray]) -> Tensor:
+        """The shared trunk: all three branches up to (excluding) the classifier."""
         for key in ("values", "attributes", "length_norm"):
             if key not in features:
                 raise ConfigurationError(f"ETSBRNN requires a {key!r} feature")
@@ -89,4 +84,30 @@ class ETSBRNN(Module):
         length_encoded = self.length_dense(length)
 
         combined = concat([value_encoded, attr_encoded, length_encoded], axis=-1)
-        return self.classifier(self.norm(self.head(combined)))
+        return self.norm(self.head(combined))
+
+    def forward(self, features: dict[str, np.ndarray]) -> Tensor:
+        """Classify each cell; returns ``(batch, 2)`` softmax probabilities.
+
+        Parameters
+        ----------
+        features:
+            ``values`` -- ``(batch, max_length)`` character indices;
+            ``attributes`` -- ``(batch,)`` attribute indices;
+            ``length_norm`` -- ``(batch, 1)`` length ratios.
+        """
+        return self.classifier(self._encode(features))
+
+    def training_loss(self, features: dict[str, np.ndarray],
+                      labels: np.ndarray) -> Tensor:
+        """Binary cross-entropy of the two-way softmax head (Section 5.2).
+
+        Dispatches on the active backend exactly like
+        :meth:`repro.models.tsb_rnn.TSBRNN.training_loss`.
+        """
+        hidden = self._encode(features)
+        targets = one_hot(np.asarray(labels), 2)
+        if get_backend() == "fused":
+            return dense_softmax_bce(hidden, self.classifier.kernel,
+                                     self.classifier.bias, targets)
+        return categorical_cross_entropy(self.classifier(hidden), targets)

@@ -14,6 +14,9 @@ from repro.autograd import Tensor
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
 from repro.nn import BatchNorm1d, BidirectionalRNN, Dense, Embedding
+from repro.nn.backend import get_backend
+from repro.nn.kernels import dense_softmax_bce
+from repro.nn.losses import categorical_cross_entropy, one_hot
 from repro.nn.module import Module
 
 
@@ -43,16 +46,8 @@ class TSBRNN(Module):
         self.norm = BatchNorm1d(config.head_units)
         self.classifier = Dense(config.head_units, 2, rng, activation="softmax")
 
-    def forward(self, features: dict[str, np.ndarray]) -> Tensor:
-        """Classify each cell; returns ``(batch, 2)`` softmax probabilities.
-
-        Parameters
-        ----------
-        features:
-            Must contain ``values``: ``(batch, max_length)`` padded
-            character indices.  Other keys are ignored, which lets the
-            same feature dicts feed both architectures.
-        """
+    def _encode(self, features: dict[str, np.ndarray]) -> Tensor:
+        """The shared trunk: everything up to (excluding) the classifier."""
         if "values" not in features:
             raise ConfigurationError("TSBRNN requires a 'values' feature")
         indices = features["values"]
@@ -65,4 +60,31 @@ class TSBRNN(Module):
             mask[~mask.any(axis=1), 0] = True
         embedded = self.embedding(indices)
         encoded = self.birnn(embedded, mask=mask)
-        return self.classifier(self.norm(self.head(encoded)))
+        return self.norm(self.head(encoded))
+
+    def forward(self, features: dict[str, np.ndarray]) -> Tensor:
+        """Classify each cell; returns ``(batch, 2)`` softmax probabilities.
+
+        Parameters
+        ----------
+        features:
+            Must contain ``values``: ``(batch, max_length)`` padded
+            character indices.  Other keys are ignored, which lets the
+            same feature dicts feed both architectures.
+        """
+        return self.classifier(self._encode(features))
+
+    def training_loss(self, features: dict[str, np.ndarray],
+                      labels: np.ndarray) -> Tensor:
+        """Binary cross-entropy of the two-way softmax head (Section 5.2).
+
+        On the ``"fused"`` backend the dense + softmax + BCE head runs as
+        a single autograd node; the ``"graph"`` backend composes the same
+        computation from primitive ops.  Values are identical.
+        """
+        hidden = self._encode(features)
+        targets = one_hot(np.asarray(labels), 2)
+        if get_backend() == "fused":
+            return dense_softmax_bce(hidden, self.classifier.kernel,
+                                     self.classifier.bias, targets)
+        return categorical_cross_entropy(self.classifier(hidden), targets)

@@ -12,9 +12,20 @@ paper's two architectures (Figure 5) are made of:
   :class:`Adam`;
 * a :class:`Trainer` with Keras-style callbacks, including
   :class:`BestWeightsCheckpoint`, which restores the weights from the
-  epoch with the lowest training loss exactly as Section 5.2 describes.
+  epoch with the lowest training loss exactly as Section 5.2 describes;
+* compute backends (:mod:`repro.nn.backend`): the default ``"fused"``
+  backend runs each recurrence level as one autograd node
+  (:mod:`repro.nn.kernels`), the ``"graph"`` backend is the per-step
+  reference implementation.
 """
 
+from repro.nn.backend import (
+    BACKENDS,
+    get_backend,
+    reset_backend,
+    set_backend,
+    use_backend,
+)
 from repro.nn.callbacks import (
     BestWeightsCheckpoint,
     Callback,
@@ -46,6 +57,11 @@ from repro.nn.optim import SGD, Adam, Optimizer, RMSprop, clip_gradients
 from repro.nn.training import Batch, Trainer
 
 __all__ = [
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "reset_backend",
+    "use_backend",
     "Module",
     "Parameter",
     "Embedding",

@@ -16,6 +16,12 @@ concatenates their final hidden states, matching Figure 5.
 Padded steps (index 0 from the data-preparation pipeline) are skipped via
 a boolean mask: on a padded step the hidden state is carried over
 unchanged, so the final state is the state after the last real character.
+
+Each level runs on the backend selected by :mod:`repro.nn.backend`: the
+default ``"fused"`` backend computes a whole level as one autograd node
+(:mod:`repro.nn.kernels`), while ``"graph"`` builds the reference
+step-by-step graph from primitive ops.  Both yield bit-for-bit identical
+forward values.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import numpy as np
 
 from repro.autograd import Tensor, concat, stack, tanh, where
 from repro.errors import ConfigurationError
+from repro.nn import kernels
+from repro.nn.backend import get_backend
 from repro.nn.init import glorot_uniform, orthogonal, zeros
 from repro.nn.module import Module, Parameter
 
@@ -44,6 +52,9 @@ class RNNCell(Module):
 
     #: Width multiplier of the state tensor (plain RNN state is just h).
     state_multiplier = 1
+
+    #: Fused whole-level kernel (see :meth:`run_level`).
+    level_kernel = staticmethod(kernels.rnn_level)
 
     def __init__(self, input_dim: int, units: int, rng: np.random.Generator):
         super().__init__()
@@ -69,6 +80,17 @@ class RNNCell(Module):
         matmul.
         """
         return tanh(proj_t + h_prev @ self.w_h)
+
+    def run_level(self, x: Tensor, mask: np.ndarray | None = None,
+                  reverse: bool = False) -> Tensor:
+        """Run the whole level as one fused autograd node.
+
+        Returns the per-step output sequence ``(batch, time, units)``
+        ordered by the original time axis (the externally visible output,
+        i.e. ``h`` for every cell family).
+        """
+        return self.level_kernel(x, self.w_x, self.w_h, self.b_h,
+                                 mask=mask, reverse=reverse)
 
     def initial_state(self, batch_size: int) -> Tensor:
         """The all-zeros initial hidden state."""
@@ -158,16 +180,19 @@ class StackedRNN(Module):
         Tensor
             Final hidden state of the top level, ``(batch, units)``.
         """
-        final, _ = self.run(x, mask=mask)
+        final, _ = self.run(x, mask=mask, collect_outputs=False)
         return final
 
-    def run(self, x: Tensor, mask: np.ndarray | None = None
-            ) -> tuple[Tensor, list[Tensor]]:
+    def run(self, x: Tensor, mask: np.ndarray | None = None,
+            collect_outputs: bool = True) -> tuple[Tensor, list[Tensor]]:
         """Run the stack; return ``(final_state, per_step_top_states)``.
 
         ``per_step_top_states`` is ordered by the original time axis even
         when ``reverse`` is set, so callers can align forward and backward
-        sequences step by step.
+        sequences step by step.  Pass ``collect_outputs=False`` when only
+        the final state is needed (the common path used by
+        :meth:`forward`): the per-step list is skipped and an empty list
+        is returned in its place.
         """
         if x.ndim != 3:
             raise ConfigurationError(f"StackedRNN expects (batch, time, dim), got {x.shape}")
@@ -180,7 +205,26 @@ class StackedRNN(Module):
             raise ConfigurationError(
                 f"mask shape {mask.shape} does not match input {(batch_size, n_steps)}"
             )
+        if get_backend() == "fused":
+            return self._run_fused(x, mask, collect_outputs)
+        return self._run_graph(x, mask, collect_outputs)
 
+    def _run_fused(self, x: Tensor, mask: np.ndarray | None,
+                   collect_outputs: bool) -> tuple[Tensor, list[Tensor]]:
+        """One autograd node per level (see :mod:`repro.nn.kernels`)."""
+        n_steps = x.shape[1]
+        sequence = x
+        for cell in self.cells:
+            sequence = cell.run_level(sequence, mask=mask, reverse=self.reverse)
+        final = sequence[:, 0 if self.reverse else n_steps - 1, :]
+        outputs = ([sequence[:, t, :] for t in range(n_steps)]
+                   if collect_outputs else [])
+        return final, outputs
+
+    def _run_graph(self, x: Tensor, mask: np.ndarray | None,
+                   collect_outputs: bool) -> tuple[Tensor, list[Tensor]]:
+        """Reference implementation: one graph node per step per level."""
+        batch_size, n_steps, _ = x.shape
         time_order = (range(n_steps - 1, -1, -1) if self.reverse
                       else range(n_steps))
         # Pre-classify every step once: fully padded steps are skipped,
@@ -193,14 +237,13 @@ class StackedRNN(Module):
             all_live = mask.all(axis=0).tolist()
 
         sequence = x
-        final_output: Tensor | None = None
-        outputs: list[Tensor] = []
+        states: list[Tensor | None] = []
         for level, cell in enumerate(self.cells):
             # Batch the input projection over all time steps: one big
             # matmul instead of one per step.
             projected = sequence @ cell.w_x + cell.b_h
             state = cell.initial_state(batch_size)
-            states: list[Tensor | None] = [None] * n_steps
+            states = [None] * n_steps
             for t in time_order:
                 if not any_live[t]:
                     states[t] = state
@@ -210,13 +253,13 @@ class StackedRNN(Module):
                     new_state = where(mask[:, t:t + 1], new_state, state)
                 state = new_state
                 states[t] = state
-            # The externally visible output is cell.output(state): for
-            # LSTM that strips the internal cell state from the packing.
-            outputs = [cell.output(s) for s in states]
-            final_output = cell.output(state)
             if level + 1 < self.num_layers:
-                sequence = stack(outputs, axis=1)
-        assert final_output is not None
+                # The externally visible output is cell.output(state): for
+                # LSTM that strips the internal cell state from the packing.
+                sequence = stack([cell.output(s) for s in states], axis=1)
+        top = self.cells[-1]
+        final_output = top.output(state)
+        outputs = [top.output(s) for s in states] if collect_outputs else []
         return final_output, outputs
 
 

@@ -34,15 +34,29 @@ class Batch:
         return int(self.labels.shape[0])
 
 
+def _validate_features(features: Mapping[str, np.ndarray]) -> int:
+    """Check the feature dict is non-empty and row-aligned; return the row count."""
+    if not features:
+        raise ConfigurationError("at least one feature array is required")
+    lengths = {name: int(arr.shape[0]) for name, arr in features.items()}
+    if len(set(lengths.values())) > 1:
+        raise ConfigurationError(
+            f"feature arrays disagree on the number of rows: {lengths}"
+        )
+    n = next(iter(lengths.values()))
+    if n == 0:
+        raise ConfigurationError("feature set is empty")
+    return n
+
+
 def _validate(features: Mapping[str, np.ndarray], labels: np.ndarray) -> int:
     if not features:
         raise ConfigurationError("training requires at least one feature array")
-    lengths = {name: arr.shape[0] for name, arr in features.items()}
     n = labels.shape[0]
-    for name, length in lengths.items():
-        if length != n:
+    for name, arr in features.items():
+        if arr.shape[0] != n:
             raise ConfigurationError(
-                f"feature {name!r} has {length} rows but labels have {n}"
+                f"feature {name!r} has {arr.shape[0]} rows but labels have {n}"
             )
     if n == 0:
         raise ConfigurationError("training set is empty")
@@ -78,7 +92,11 @@ class Trainer:
     optimizer:
         Update rule over ``model.parameters()``.
     loss_fn:
-        ``loss_fn(probabilities, labels) -> scalar Tensor``.
+        ``loss_fn(probabilities, labels) -> scalar Tensor``.  When the
+        model defines a ``training_loss(features, labels)`` method (the
+        paper's architectures do), that method is used instead -- it can
+        fuse the classifier head and loss into a single autograd node on
+        the ``"fused"`` backend (see :mod:`repro.nn.kernels`).
     max_grad_norm:
         Global-norm gradient clipping threshold (``None`` disables).
     rng:
@@ -107,6 +125,9 @@ class Trainer:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
         labels = np.asarray(labels)
         _validate(features, labels)
+        # Models may fuse forward and loss into one call (e.g. the fused
+        # dense+softmax+BCE head kernel); fall back to forward + loss_fn.
+        model_loss = getattr(self.model, "training_loss", None)
         self.model.train()
         for callback in self._all_callbacks:
             callback.on_train_begin(self.model)
@@ -115,8 +136,11 @@ class Trainer:
             examples = 0
             for batch in iterate_batches(features, labels, batch_size, rng=self.rng):
                 self.optimizer.zero_grad()
-                outputs = self.model(batch.features)
-                loss = self.loss_fn(outputs, batch.labels)
+                if model_loss is not None:
+                    loss = model_loss(batch.features, batch.labels)
+                else:
+                    outputs = self.model(batch.features)
+                    loss = self.loss_fn(outputs, batch.labels)
                 loss.backward()
                 if self.max_grad_norm is not None:
                     clip_gradients(self.model.parameters(), self.max_grad_norm)
@@ -141,7 +165,7 @@ class Trainer:
 def predict_proba(model: Module, features: Features,
                   batch_size: int = 256) -> np.ndarray:
     """Run ``model`` over ``features`` in chunks; returns ``(n, n_classes)``."""
-    n = _validate(features, np.zeros(next(iter(features.values())).shape[0]))
+    n = _validate_features(features)
     outputs: list[np.ndarray] = []
     with no_grad():
         for start in range(0, n, batch_size):

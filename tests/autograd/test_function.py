@@ -1,0 +1,141 @@
+"""Tests for the custom-op Function base class."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Function, Tensor, gradcheck_function, no_grad
+from repro.errors import GraphError
+
+
+class Square(Function):
+    @staticmethod
+    def forward(ctx, x):
+        ctx.x = x
+        return x * x
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (2.0 * ctx.x * grad,)
+
+
+class ScaledAdd(Function):
+    """a + scale * b, with a non-tensor argument in the middle."""
+
+    @staticmethod
+    def forward(ctx, a, scale, b):
+        ctx.scale = scale
+        return a + scale * b
+
+    @staticmethod
+    def backward(ctx, grad):
+        da = grad if ctx.needs_input_grad[0] else None
+        db = ctx.scale * grad if ctx.needs_input_grad[1] else None
+        return da, db
+
+
+class WrongArity(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        return a + b
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad,)  # one gradient for two tensor inputs
+
+
+class TestFunctionApply:
+    def test_forward_value(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        np.testing.assert_array_equal(Square.apply(x).data, [1.0, 4.0, 9.0])
+
+    def test_backward_through_graph_ops(self):
+        """A Function node composes with ordinary graph nodes."""
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        (Square.apply(x) * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 6.0 * x.data)
+
+    def test_non_tensor_arguments_skipped(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        b = Tensor(np.full(4, 2.0), requires_grad=True)
+        out = ScaledAdd.apply(a, 0.5, b)
+        np.testing.assert_array_equal(out.data, np.full(4, 2.0))
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(4))
+        np.testing.assert_allclose(b.grad, np.full(4, 0.5))
+
+    def test_needs_input_grad_mirrors_requires_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3))  # constant: no gradient requested
+        out = ScaledAdd.apply(a, 2.0, b)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        assert b.grad is None
+
+    def test_no_grad_mode_detaches(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = Square.apply(x)
+        assert not out.requires_grad
+
+    def test_constant_inputs_detach(self):
+        out = Square.apply(Tensor(np.ones(3)))
+        assert not out.requires_grad
+
+    def test_wrong_gradient_count_rejected(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        out = WrongArity.apply(a, b)
+        with pytest.raises(GraphError):
+            out.sum().backward()
+
+    def test_scalar_output_promoted_to_array(self):
+        class Mean(Function):
+            @staticmethod
+            def forward(ctx, x):
+                ctx.n = x.size
+                return x.mean()
+
+            @staticmethod
+            def backward(ctx, grad):
+                return (np.full(ctx.n, float(grad) / ctx.n),)
+
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        loss = Mean.apply(x)
+        assert loss.item() == 1.5
+        loss.backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+
+class TestGradcheckFunction:
+    def test_passes_for_correct_backward(self):
+        x = Tensor(np.array([0.3, -0.7, 1.1]), requires_grad=True)
+        gradcheck_function(Square, (x,))
+
+    def test_catches_wrong_backward(self):
+        class BadSquare(Function):
+            @staticmethod
+            def forward(ctx, x):
+                ctx.x = x
+                return x * x
+
+            @staticmethod
+            def backward(ctx, grad):
+                return (3.0 * ctx.x * grad,)  # wrong factor
+
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        with pytest.raises(AssertionError):
+            gradcheck_function(BadSquare, (x,))
+
+    def test_scalar_output_checked_directly(self):
+        class SumSq(Function):
+            @staticmethod
+            def forward(ctx, x):
+                ctx.x = x
+                return (x * x).sum()
+
+            @staticmethod
+            def backward(ctx, grad):
+                return (2.0 * ctx.x * float(grad),)
+
+        x = Tensor(np.array([0.2, -0.4, 0.9]), requires_grad=True)
+        gradcheck_function(SumSq, (x,))
