@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-full report examples clean
+.PHONY: install test bench bench-smoke bench-bucketing bench-full report examples clean
 
 install:
 	pip install -e .
@@ -11,10 +11,19 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Fast regression gate: fails unless the fused RNN kernels are >= 2x
-# faster than the graph backend; records benchmarks/results/backend_speedup.txt.
+# Fast regression gates: fused RNN kernels must be >= 2x faster than the
+# graph backend (benchmarks/results/backend_speedup.txt) and bucketed
+# trimmed batches >= 1.3x faster than full padding on both backends
+# (benchmarks/results/BENCH_bucketing.json).  The bucketed-vs-full
+# equivalence suite then runs under each default backend.
 bench-smoke:
-	pytest benchmarks/test_substrate_microbench.py -m bench_smoke -q
+	pytest benchmarks/test_substrate_microbench.py benchmarks/test_bucketing_bench.py -m bench_smoke -q
+	REPRO_NN_BACKEND=fused pytest tests/nn/test_bucketing.py -q
+	REPRO_NN_BACKEND=graph pytest tests/nn/test_bucketing.py -q
+
+# Bucketed-batching speedup gate alone (writes BENCH_bucketing.json).
+bench-bucketing:
+	pytest benchmarks/test_bucketing_bench.py -m bench_smoke -q
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

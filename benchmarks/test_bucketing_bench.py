@@ -1,0 +1,129 @@
+"""Bucketed-batching benchmark and regression gate.
+
+Times one training epoch of the paper's value branch on a synthetic
+skewed-length dataset, with length-bucketed trimmed batches versus the
+status-quo training path: uniformly shuffled batches at full padding.
+With skewed lengths almost every shuffled batch contains a near-maximum
+value, so its effective width stays at the padded maximum; bucketing
+groups short values together, and the padding-aware kernels then loop
+over a fraction of the steps.  Both compute backends are gated: bucketing
+must be at least 1.3x faster on each.
+
+``make bench-bucketing`` runs this module alone; the result -- median
+ms/step per arm, speedups and the dataset's length histogram -- is
+recorded machine-readably in ``benchmarks/results/BENCH_bucketing.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig
+from repro.models.tsb_rnn import TSBRNN
+from repro.nn import BucketBatchSampler, use_backend
+from repro.nn.training import iterate_batches
+
+from .conftest import write_result
+
+SPEEDUP_GATE = 1.3
+
+#: Skewed-length regime: most values short, a few near the maximum.
+N_EXAMPLES = 96
+MAX_LENGTH = 48
+BATCH_SIZE = 24
+VOCAB = 60
+
+CONFIG = ModelConfig(char_embed_dim=16, value_units=32, num_layers=2,
+                     head_units=16)
+
+
+def _skewed_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    short = rng.integers(2, 9, size=int(N_EXAMPLES * 0.85))
+    long = rng.integers(MAX_LENGTH - 8, MAX_LENGTH + 1,
+                        size=N_EXAMPLES - short.shape[0])
+    lengths = np.concatenate([short, long])
+    rng.shuffle(lengths)
+    values = np.zeros((N_EXAMPLES, MAX_LENGTH), dtype=np.int64)
+    for i, ell in enumerate(lengths):
+        values[i, :ell] = rng.integers(1, VOCAB, size=ell)
+    labels = rng.integers(0, 2, size=N_EXAMPLES).astype(np.int64)
+    return {"values": values}, labels, lengths.astype(np.int64)
+
+
+def _epoch_seconds(model, batch_iter_fn):
+    """Wall-clock seconds of one forward+backward epoch; returns (s, steps)."""
+    steps = 0
+    start = time.perf_counter()
+    for batch in batch_iter_fn():
+        model.zero_grad()
+        model.training_loss(batch.features, batch.labels).backward()
+        steps += 1
+    return time.perf_counter() - start, steps
+
+
+@pytest.mark.bench_smoke
+def test_bucketed_speedup_smoke():
+    """Gate: bucketed trimmed batches >= 1.3x faster on both backends.
+
+    Arms are timed in interleaved control/bucketed pairs (both
+    deterministic, same examples and batch size per epoch) and compared
+    by the median per-pair ratio, so machine-speed drift cancels out.
+    """
+    features, labels, lengths = _skewed_dataset()
+    sampler = BucketBatchSampler(n_buckets=4)
+
+    def bucketed():
+        return sampler.batches(features, labels, lengths, BATCH_SIZE)
+
+    def control():
+        # The status-quo path: dataset-order batches (lengths are already
+        # shuffled at generation) at the dataset-wide padded width.
+        return iterate_batches(features, labels, BATCH_SIZE)
+
+    counts, edges = np.histogram(lengths, bins=8, range=(1, MAX_LENGTH + 1))
+
+    report = {
+        "benchmark": "bucketed-vs-full-padding TSB-RNN training epoch",
+        "gate_speedup": SPEEDUP_GATE,
+        "dataset": {
+            "n_examples": N_EXAMPLES,
+            "max_length": MAX_LENGTH,
+            "batch_size": BATCH_SIZE,
+            "length_histogram": {
+                "bin_edges": [int(e) for e in edges],
+                "counts": [int(c) for c in counts],
+            },
+        },
+        "backends": {},
+    }
+    failures = []
+    for backend in ("fused", "graph"):
+        model = TSBRNN(VOCAB, CONFIG, np.random.default_rng(0))
+        with use_backend(backend):
+            _epoch_seconds(model, bucketed)  # warm up
+            _epoch_seconds(model, control)
+            pairs = []
+            for _ in range(5):
+                full_s, steps = _epoch_seconds(model, control)
+                trim_s, _ = _epoch_seconds(model, bucketed)
+                pairs.append((full_s / steps, trim_s / steps))
+        ratios = sorted(f / t for f, t in pairs)
+        speedup = ratios[len(ratios) // 2]
+        full_ms = sorted(f for f, _ in pairs)[len(pairs) // 2] * 1e3
+        trim_ms = sorted(t for _, t in pairs)[len(pairs) // 2] * 1e3
+        report["backends"][backend] = {
+            "full_padding_ms_per_step": round(full_ms, 3),
+            "bucketed_ms_per_step": round(trim_ms, 3),
+            "median_speedup": round(speedup, 2),
+        }
+        if speedup < SPEEDUP_GATE:
+            failures.append(f"{backend}: {speedup:.2f}x")
+
+    write_result("BENCH_bucketing.json", json.dumps(report, indent=2))
+    assert not failures, (
+        f"bucketed batching below the {SPEEDUP_GATE}x gate on: "
+        f"{', '.join(failures)} (see benchmarks/results/BENCH_bucketing.json)"
+    )

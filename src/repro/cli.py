@@ -176,7 +176,8 @@ def cmd_benchmark(args) -> int:
     result = run_experiment(
         pair, architecture=args.arch, n_runs=args.runs,
         n_label_tuples=args.tuples, epochs=args.epochs,
-        model_config=ModelConfig(cell_type=args.cell))
+        model_config=ModelConfig(cell_type=args.cell),
+        n_workers=args.workers)
     row = result.as_row()
     print(f"P  = {row['P']:.3f} ± {row['P_sd']:.3f}")
     print(f"R  = {row['R']:.3f} ± {row['R_sd']:.3f}")
@@ -237,6 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--dataset", choices=DATASET_NAMES, required=True)
     p_bench.add_argument("--rows", type=int, default=200)
     p_bench.add_argument("--runs", type=int, default=2)
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="fan runs out over this many worker processes "
+                              "(default: serial; results are identical)")
     _add_training_flags(p_bench)
     p_bench.set_defaults(fn=cmd_benchmark)
 

@@ -35,12 +35,18 @@ class EncodedCells:
         ``(n,)`` int64 tuple id of each cell.
     attribute_names:
         Attribute name of each cell (parallel to rows).
+    lengths:
+        ``(n,)`` int64 true (unpadded) sequence length of each ``values``
+        row, stored at encoding time so downstream consumers (bucketed
+        batching, sorted inference chunking) never re-derive it from the
+        padding.  ``None`` only for hand-built instances.
     """
 
     features: dict[str, np.ndarray]
     labels: np.ndarray
     tuple_ids: np.ndarray
     attribute_names: tuple[str, ...]
+    lengths: np.ndarray | None = None
 
     @property
     def n_cells(self) -> int:
@@ -54,6 +60,7 @@ class EncodedCells:
             labels=self.labels[indices],
             tuple_ids=self.tuple_ids[indices],
             attribute_names=tuple(self.attribute_names[i] for i in indices),
+            lengths=None if self.lengths is None else self.lengths[indices],
         )
 
 
@@ -105,4 +112,7 @@ def encode_cells(prepared: PreparedData, df: Table | None = None,
         labels=labels,
         tuple_ids=tuple_ids,
         attribute_names=tuple(attr_col),
+        # Encoded characters are contiguous from position 0 and never map
+        # to the pad index, so the true length is the non-pad count.
+        lengths=np.count_nonzero(values, axis=1).astype(np.int64),
     )

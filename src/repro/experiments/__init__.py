@@ -3,7 +3,8 @@
 * :mod:`~repro.experiments.reference` -- the paper's published numbers
   (Tables 3-5), kept as constants for side-by-side reporting;
 * :mod:`~repro.experiments.runner` -- repeated-run experiment execution
-  with timing and optional per-epoch curves;
+  with timing and optional per-epoch curves, fanned out over a process
+  pool when ``n_workers`` is set (identical aggregation either way);
 * :mod:`~repro.experiments.tables` -- renderers for Tables 2, 3, 4, 5;
 * :mod:`~repro.experiments.curves` -- the Figure 6 / Figure 7 series;
 * :mod:`~repro.experiments.scale` -- scaled-down vs paper-scale settings
@@ -26,6 +27,7 @@ from repro.experiments.runner import (
     RunResult,
     run_augmentation_baseline,
     run_experiment,
+    run_experiment_matrix,
     run_raha_baseline,
 )
 from repro.experiments.scale import ExperimentScale, current_scale
@@ -40,6 +42,7 @@ __all__ = [
     "RunResult",
     "ExperimentResult",
     "run_experiment",
+    "run_experiment_matrix",
     "run_raha_baseline",
     "run_augmentation_baseline",
     "AttributeBreakdown",

@@ -2,7 +2,12 @@
 
 ``run_experiment`` trains a detector ``n_runs`` times with different
 seeds, recording precision/recall/F1, wall-clock training time and
-(optionally) per-epoch train/test accuracy for the figures.
+(optionally) per-epoch train/test accuracy for the figures.  Runs are
+independent, so ``n_workers > 1`` fans them out over a process pool;
+``run_experiment_matrix`` extends the fan-out to the full dataset x seed
+grid.  Each task derives its seed as ``base_seed + run_index`` whether it
+runs serially or in a worker, so parallel execution aggregates to the
+identical result (wall-clock timings aside).
 ``run_raha_baseline`` evaluates the from-scratch Raha implementation
 under the identical 20-labelled-tuples protocol.
 """
@@ -11,6 +16,8 @@ from __future__ import annotations
 
 import time
 
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,12 +88,54 @@ class ExperimentResult:
         }
 
 
+def _execute_run(pair: DatasetPair, architecture: str,
+                 sampler: Sampler | None, n_label_tuples: int,
+                 model_config: ModelConfig | None,
+                 training_config: TrainingConfig,
+                 seed: int, track_curves: bool) -> RunResult:
+    """Train and evaluate one detector run (one task of the matrix).
+
+    A module-level function so a :class:`ProcessPoolExecutor` can pickle
+    it; seeding depends only on the arguments, never on which process
+    executes the task, so serial and parallel schedules produce the same
+    :class:`RunResult` (up to ``train_seconds``).
+    """
+    detector = ErrorDetector(
+        architecture=architecture,
+        sampler=sampler if sampler is not None else DiverSet(),
+        n_label_tuples=n_label_tuples,
+        model_config=model_config,
+        training_config=training_config,
+        seed=seed,
+    )
+    callbacks = []
+    curve_logs: dict[str, list[float]] = {"train_acc": [], "test_acc": []}
+    if track_curves:
+        callbacks.append(_curve_callback(detector, curve_logs))
+    detector.extra_callbacks = tuple(callbacks)
+    started = time.perf_counter()
+    detector.fit(pair)
+    elapsed = time.perf_counter() - started
+    report = detector.evaluate().report
+    assert detector.checkpoint is not None
+    return RunResult(
+        seed=seed,
+        report=report,
+        train_seconds=elapsed,
+        best_epoch=detector.checkpoint.best_epoch,
+        train_accuracy_curve=tuple(curve_logs["train_acc"]),
+        test_accuracy_curve=tuple(curve_logs["test_acc"]),
+    )
+
+
 def run_experiment(pair: DatasetPair, architecture: str = "etsb",
                    sampler: Sampler | None = None, n_runs: int = 10,
                    n_label_tuples: int = 20, epochs: int = 120,
                    model_config: ModelConfig | None = None,
+                   training_config: TrainingConfig | None = None,
                    base_seed: int = 0,
-                   track_curves: bool = False) -> ExperimentResult:
+                   track_curves: bool = False,
+                   n_workers: int | None = None) -> ExperimentResult:
     """Train and evaluate a detector ``n_runs`` times on one dataset.
 
     Parameters
@@ -101,43 +150,81 @@ def run_experiment(pair: DatasetPair, architecture: str = "etsb",
         Repetitions; each run uses seed ``base_seed + run_index``.
     n_label_tuples, epochs:
         The paper's 20 tuples and 120 epochs by default.
+    training_config:
+        Full training configuration (e.g. with ``bucket_batches=True``);
+        overrides ``epochs`` when given.
     track_curves:
         Record per-epoch train/test accuracy (needed for Figures 6/7;
         costs one extra evaluation pass per epoch).
+    n_workers:
+        Fan the runs out over this many worker processes.  ``None`` or 1
+        runs serially in-process.  Aggregation is identical either way
+        because every run's seed is ``base_seed + run_index``.
     """
     if n_runs < 1:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
-    runs: list[RunResult] = []
-    for run_index in range(n_runs):
-        seed = base_seed + run_index
-        detector = ErrorDetector(
-            architecture=architecture,
-            sampler=sampler if sampler is not None else DiverSet(),
-            n_label_tuples=n_label_tuples,
-            model_config=model_config,
-            training_config=TrainingConfig(epochs=epochs),
-            seed=seed,
-        )
-        callbacks = []
-        curve_logs: dict[str, list[float]] = {"train_acc": [], "test_acc": []}
-        if track_curves:
-            callbacks.append(_curve_callback(detector, curve_logs))
-        detector.extra_callbacks = tuple(callbacks)
-        started = time.perf_counter()
-        detector.fit(pair)
-        elapsed = time.perf_counter() - started
-        report = detector.evaluate().report
-        assert detector.checkpoint is not None
-        runs.append(RunResult(
-            seed=seed,
-            report=report,
-            train_seconds=elapsed,
-            best_epoch=detector.checkpoint.best_epoch,
-            train_accuracy_curve=tuple(curve_logs["train_acc"]),
-            test_accuracy_curve=tuple(curve_logs["test_acc"]),
-        ))
+    config = (training_config if training_config is not None
+              else TrainingConfig(epochs=epochs))
+    tasks = [
+        (pair, architecture, sampler, n_label_tuples, model_config, config,
+         base_seed + run_index, track_curves)
+        for run_index in range(n_runs)
+    ]
+    runs = _execute_tasks(tasks, n_workers)
     system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
     return ExperimentResult(dataset=pair.name, system=system, runs=tuple(runs))
+
+
+def run_experiment_matrix(pairs: Sequence[DatasetPair],
+                          architecture: str = "etsb",
+                          sampler: Sampler | None = None, n_runs: int = 10,
+                          n_label_tuples: int = 20, epochs: int = 120,
+                          model_config: ModelConfig | None = None,
+                          training_config: TrainingConfig | None = None,
+                          base_seed: int = 0,
+                          n_workers: int | None = None,
+                          ) -> dict[str, ExperimentResult]:
+    """Run the full dataset x seed grid, optionally over a process pool.
+
+    Every (dataset, run) cell is an independent task, so with
+    ``n_workers > 1`` the whole grid is interleaved across workers instead
+    of parallelising only within one dataset.  Returns one
+    :class:`ExperimentResult` per dataset, keyed and aggregated exactly as
+    ``{pair.name: run_experiment(pair, ...)}`` would produce serially.
+    """
+    if n_runs < 1:
+        raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
+    names = [pair.name for pair in pairs]
+    if len(set(names)) != len(names):
+        raise ExperimentError(f"dataset names must be unique, got {names}")
+    config = (training_config if training_config is not None
+              else TrainingConfig(epochs=epochs))
+    tasks = [
+        (pair, architecture, sampler, n_label_tuples, model_config, config,
+         base_seed + run_index, False)
+        for pair in pairs
+        for run_index in range(n_runs)
+    ]
+    runs = _execute_tasks(tasks, n_workers)
+    system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
+    results: dict[str, ExperimentResult] = {}
+    for i, pair in enumerate(pairs):
+        chunk = tuple(runs[i * n_runs:(i + 1) * n_runs])
+        results[pair.name] = ExperimentResult(dataset=pair.name,
+                                              system=system, runs=chunk)
+    return results
+
+
+def _execute_tasks(tasks: list[tuple], n_workers: int | None) -> list[RunResult]:
+    """Execute run tasks serially or on a process pool, preserving order."""
+    if n_workers is not None and n_workers < 1:
+        raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers is None or n_workers == 1 or len(tasks) == 1:
+        return [_execute_run(*task) for task in tasks]
+    workers = min(n_workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute_run, *task) for task in tasks]
+        return [future.result() for future in futures]
 
 
 def _curve_callback(detector: ErrorDetector,

@@ -73,12 +73,26 @@ class TrainingConfig:
         RMSprop step size.
     max_grad_norm:
         Global-norm gradient clipping (``None`` disables).
+    bucket_batches:
+        Train with length-bucketed batches whose padded tails are trimmed
+        (:class:`~repro.nn.training.BucketBatchSampler`).  Equivalent to
+        the full-padding path up to float accumulation order, and much
+        faster on skewed-length datasets.  Off by default so the paper's
+        exact batch-shuffling protocol stays the reference.
+    n_length_buckets:
+        Auto-quantile bucket count when ``bucket_edges`` is ``None``.
+    bucket_edges:
+        Explicit ascending bucket upper edges (inclusive); overrides the
+        quantile heuristic.
     """
 
     epochs: int = 120
     batch_fraction: float = 0.25
     learning_rate: float = 0.001
     max_grad_norm: float | None = 5.0
+    bucket_batches: bool = False
+    n_length_buckets: int = 4
+    bucket_edges: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -90,6 +104,10 @@ class TrainingConfig:
         if self.learning_rate <= 0:
             raise ConfigurationError(
                 f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if self.n_length_buckets < 1:
+            raise ConfigurationError(
+                f"n_length_buckets must be >= 1, got {self.n_length_buckets}"
             )
 
     def batch_size(self, train_size: int) -> int:

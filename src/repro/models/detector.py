@@ -27,6 +27,7 @@ from repro.models.etsb_rnn import ETSBRNN
 from repro.models.tsb_rnn import TSBRNN
 from repro.nn import (
     BestWeightsCheckpoint,
+    BucketBatchSampler,
     Callback,
     RMSprop,
     Trainer,
@@ -221,6 +222,12 @@ class ErrorDetector:
         optimizer = RMSprop(model.parameters(),
                             learning_rate=self.training_config.learning_rate)
         checkpoint = BestWeightsCheckpoint(monitor="loss", mode="min")
+        batch_sampler = None
+        if self.training_config.bucket_batches:
+            batch_sampler = BucketBatchSampler(
+                edges=self.training_config.bucket_edges,
+                n_buckets=self.training_config.n_length_buckets,
+            )
         trainer = Trainer(
             model=model,
             optimizer=optimizer,
@@ -228,6 +235,7 @@ class ErrorDetector:
             max_grad_norm=self.training_config.max_grad_norm,
             rng=rng,
             callbacks=(checkpoint, *self.extra_callbacks),
+            batch_sampler=batch_sampler,
         )
         batch_size = self.training_config.batch_size(split.train_size)
         # Publish state before fitting so that per-epoch callbacks (e.g.
@@ -238,7 +246,8 @@ class ErrorDetector:
         self.trainer = trainer
         self.checkpoint = checkpoint
         trainer.fit(split.train.features, split.train.labels,
-                    epochs=self.training_config.epochs, batch_size=batch_size)
+                    epochs=self.training_config.epochs, batch_size=batch_size,
+                    lengths=split.train.lengths)
         return self
 
     # -- inference ------------------------------------------------------------
@@ -249,22 +258,27 @@ class ErrorDetector:
             raise NotFittedError("fit() has not been called")
         return self.model, self.prepared, self.split, self.trainer
 
-    def predict(self, features: dict[str, np.ndarray]) -> np.ndarray:
+    def predict(self, features: dict[str, np.ndarray],
+                lengths: np.ndarray | None = None) -> np.ndarray:
         """Binary error predictions for encoded features.
 
         Works on freshly fitted detectors and on detectors restored via
         :func:`repro.models.serialization.load_detector` (which carry no
-        train/test split).
+        train/test split).  ``lengths`` (true per-row sequence lengths,
+        e.g. :attr:`~repro.dataprep.encoding.EncodedCells.lengths`)
+        enables sorted-by-length inference chunking: cheaper on skewed
+        data, identical predictions.
         """
         if self.trainer is None:
             raise NotFittedError("fit() has not been called")
-        probabilities = self.trainer.predict_proba(features)
+        probabilities = self.trainer.predict_proba(features, lengths=lengths)
         return probabilities.argmax(axis=1).astype(np.int64)
 
     def evaluate(self) -> DetectionResult:
         """Evaluate the fitted model on the held-out test cells."""
         _, __, split, ___ = self._require_fitted()
-        predictions = self.predict(split.test.features)
+        predictions = self.predict(split.test.features,
+                                   lengths=split.test.lengths)
         report = ClassificationReport.from_predictions(split.test.labels,
                                                        predictions)
         return DetectionResult(
@@ -279,7 +293,8 @@ class ErrorDetector:
         from repro.dataprep import encode_cells
         _, prepared, __, trainer = self._require_fitted()
         encoded = encode_cells(prepared)
-        probabilities = trainer.predict_proba(encoded.features)
+        probabilities = trainer.predict_proba(encoded.features,
+                                              lengths=encoded.lengths)
         predictions = probabilities.argmax(axis=1)
         return [
             (int(tid), attr)

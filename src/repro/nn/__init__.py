@@ -12,7 +12,9 @@ paper's two architectures (Figure 5) are made of:
   :class:`Adam`;
 * a :class:`Trainer` with Keras-style callbacks, including
   :class:`BestWeightsCheckpoint`, which restores the weights from the
-  epoch with the lowest training loss exactly as Section 5.2 describes;
+  epoch with the lowest training loss exactly as Section 5.2 describes,
+  plus :class:`BucketBatchSampler` for length-bucketed batching that
+  trims padded tails so step cost tracks real characters;
 * compute backends (:mod:`repro.nn.backend`): the default ``"fused"``
   backend runs each recurrence level as one autograd node
   (:mod:`repro.nn.kernels`), the ``"graph"`` backend is the per-step
@@ -54,7 +56,13 @@ from repro.nn.losses import (
 )
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam, Optimizer, RMSprop, clip_gradients
-from repro.nn.training import Batch, Trainer
+from repro.nn.training import (
+    Batch,
+    BucketBatchSampler,
+    Trainer,
+    iterate_batches,
+    predict_proba,
+)
 
 __all__ = [
     "BACKENDS",
@@ -91,6 +99,9 @@ __all__ = [
     "EpochEvaluator",
     "Trainer",
     "Batch",
+    "BucketBatchSampler",
+    "iterate_batches",
+    "predict_proba",
     "glorot_uniform",
     "orthogonal",
     "uniform",

@@ -18,6 +18,17 @@ Masking follows the repository-wide convention: ``mask`` is a boolean
 row's state is carried over unchanged (and gradients flow straight
 through to the previous step).
 
+Effective lengths: the data-preparation pipeline right-pads, so a batch
+whose longest value is far shorter than the array width ends in a block
+of steps that are padding for *every* row.  Each kernel detects that
+block (:func:`_effective_width`), stops its time loop at the last step
+any row is live, and fills the tail analytically -- the carried state for
+the forward direction, the untouched zero initial state for the reverse
+direction.  The backward pass mirrors the trim: tail gradients are folded
+into the carried-state gradient in the same accumulation order the
+full-width loop would have used, so forward values stay bit-for-bit
+identical and gradients agree to float-accumulation order.
+
 Kernels
 -------
 :func:`rnn_level`
@@ -73,6 +84,53 @@ def _check_sequence(x: np.ndarray, mask: np.ndarray | None) -> None:
 
 def _time_order(n_steps: int, reverse: bool) -> list[int]:
     return list(range(n_steps - 1, -1, -1)) if reverse else list(range(n_steps))
+
+
+def _effective_width(any_live: list[bool], n_steps: int) -> int:
+    """Steps up to (and including) the last one where any row is live.
+
+    Steps beyond the width are padding for every row: the forward pass
+    carries state straight through them and the backward pass passes
+    gradients through unchanged, so the kernels handle the whole tail in
+    closed form instead of looping over it.  A fully padded batch keeps a
+    width of 1 so the (dead) loop still establishes the initial state.
+    """
+    for t in range(n_steps - 1, -1, -1):
+        if any_live[t]:
+            return t + 1
+    return 1
+
+
+def _fill_tail(states: np.ndarray, width: int, reverse: bool,
+               h: np.ndarray) -> None:
+    """Write the analytic tail states for steps beyond ``width``.
+
+    Forward order carries the final live state through the dead tail;
+    reverse order visits the tail first and never leaves the zero initial
+    state.  Matches the full-width loop bit for bit.
+    """
+    if width >= states.shape[1]:
+        return
+    if reverse:
+        states[:, width:] = 0.0
+    else:
+        states[:, width:] = h[:, None, :]
+
+
+def _tail_grad(dh: np.ndarray, grad: np.ndarray, width: int,
+               reverse: bool) -> None:
+    """Fold the dead tail's incoming gradients into the carried ``dh``.
+
+    For the forward direction the full-width backward loop would visit
+    the tail first (descending t) and accumulate ``grad[:, t]`` into the
+    pass-through state gradient; replicate that order exactly.  For the
+    reverse direction the tail states are the constant initial state, so
+    their gradients are discarded -- as the full loop does.
+    """
+    if reverse:
+        return
+    for t in range(grad.shape[1] - 1, width - 1, -1):
+        dh += grad[:, t]
 
 
 class _ScratchPool:
@@ -152,20 +210,27 @@ def _recurrent_weight_grad(prev: np.ndarray, dproj: np.ndarray) -> np.ndarray:
 
 
 def _input_grads(dproj: np.ndarray, x: np.ndarray, w_x: np.ndarray,
-                 ctx: FunctionCtx) -> tuple[np.ndarray | None, ...]:
+                 ctx: FunctionCtx, full_shape: tuple[int, ...]
+                 ) -> tuple[np.ndarray | None, ...]:
     """Shared tail of every level backward: grads through ``x @ w_x + b``.
 
-    Like :func:`_recurrent_weight_grad`, the returned arrays are scratch:
-    they are consumed synchronously by gradient accumulation.
+    ``x`` is the (possibly width-trimmed) live window of the input;
+    ``dx`` is expanded back to ``full_shape`` with a zero tail -- trimmed
+    steps are padding for every row, so their input gradient is exactly
+    zero.  Like :func:`_recurrent_weight_grad`, the returned arrays are
+    scratch: they are consumed synchronously by gradient accumulation.
     """
-    in_dim, width = x.shape[-1], dproj.shape[-1]
+    in_dim, proj_width = x.shape[-1], dproj.shape[-1]
     if ctx.needs_input_grad[0]:
-        dx = np.matmul(dproj, w_x.T, out=_scratch.get("level.dx", x.shape))
+        dx = _scratch.get("level.dx", full_shape)
+        np.matmul(dproj, w_x.T, out=dx[:, :x.shape[1]])
+        if x.shape[1] < full_shape[1]:
+            dx[:, x.shape[1]:] = 0.0
     else:
         dx = None
     if ctx.needs_input_grad[1]:
-        dw_x = np.matmul(x.reshape(-1, in_dim).T, dproj.reshape(-1, width),
-                         out=_scratch.get("level.dw_x", (in_dim, width)))
+        dw_x = np.matmul(x.reshape(-1, in_dim).T, dproj.reshape(-1, proj_width),
+                         out=_scratch.get("level.dw_x", (in_dim, proj_width)))
     else:
         dw_x = None
     db = dproj.sum(axis=(0, 1)) if ctx.needs_input_grad[3] else None
@@ -188,9 +253,11 @@ class RNNLevelFunction(Function):
         _check_sequence(x, mask)
         batch, n_steps, _ = x.shape
         units = w_h.shape[0]
-        proj = _projection(x, w_x, b_h, "rnn.proj")
         any_live, all_live = _classify_steps(mask, n_steps)
-        order = _time_order(n_steps, reverse)
+        width = _effective_width(any_live, n_steps)
+        x_w = x[:, :width] if width < n_steps else x
+        proj = _projection(x_w, w_x, b_h, "rnn.proj")
+        order = _time_order(width, reverse)
 
         # ``rec`` is preallocated scratch for the recurrent projection; the
         # activation writes straight into the ``states[:, t]`` slice and the
@@ -210,30 +277,34 @@ class RNNLevelFunction(Function):
             else:
                 h = np.where(mask[:, t:t + 1], np.tanh(rec), h)
                 states[:, t] = h
+        _fill_tail(states, width, reverse, h)
 
-        ctx.x, ctx.w_x, ctx.w_h = x, w_x, w_h
+        ctx.x, ctx.x_shape, ctx.w_x, ctx.w_h = x_w, x.shape, w_x, w_h
         ctx.states, ctx.mask, ctx.order = states, mask, order
-        ctx.any_live, ctx.all_live = any_live, all_live
+        ctx.any_live, ctx.all_live = any_live[:width], all_live[:width]
+        ctx.width, ctx.reverse = width, reverse
         return states
 
     @staticmethod
     def backward(ctx: FunctionCtx, grad: np.ndarray
                  ) -> tuple[np.ndarray | None, ...]:
         states, mask, order = ctx.states, ctx.mask, ctx.order
-        w_h = ctx.w_h
-        batch, n_steps, units = states.shape
+        w_h, width = ctx.w_h, ctx.width
+        batch, _, units = states.shape
+        states_w = states[:, :width]
 
-        # tanh' over the whole sequence at once, staged in scratch.
-        deriv = np.multiply(states, states,
-                            out=_scratch.get("rnn.deriv", states.shape))
+        # tanh' over the live window at once, staged in scratch.
+        deriv = np.multiply(states_w, states_w,
+                            out=_scratch.get("rnn.deriv", states_w.shape))
         np.subtract(1.0, deriv, out=deriv)
         w_h_t = np.ascontiguousarray(w_h.T)
         # ``dpre`` lands directly in its ``dproj[:, t]`` slice; the carried
         # ``dh`` lives in a single scratch buffer (never an input of the
         # GEMM that overwrites it, so no ping-pong is needed).
-        dproj = _dproj_scratch("rnn.dproj", states.shape, ctx.any_live)
+        dproj = _dproj_scratch("rnn.dproj", states_w.shape, ctx.any_live)
         buf = _scratch.get("rnn.dh", (batch, units))
         dh = np.zeros((batch, units))
+        _tail_grad(dh, grad, width, ctx.reverse)
         for idx in range(len(order) - 1, -1, -1):
             t = order[idx]
             dh += grad[:, t]
@@ -249,10 +320,10 @@ class RNNLevelFunction(Function):
 
         if ctx.needs_input_grad[2]:
             dw_h = _recurrent_weight_grad(
-                _shift_prev(states, order, "rnn.prev"), dproj)
+                _shift_prev(states_w, order, "rnn.prev"), dproj)
         else:
             dw_h = None
-        dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx)
+        dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx, ctx.x_shape)
         return dx, dw_x, dw_h, db
 
 
@@ -272,14 +343,18 @@ class LSTMLevelFunction(Function):
         _check_sequence(x, mask)
         batch, n_steps, _ = x.shape
         units = w_h.shape[0]
-        proj = _projection(x, w_x, b_h, "lstm.proj")
         any_live, all_live = _classify_steps(mask, n_steps)
-        order = _time_order(n_steps, reverse)
+        width = _effective_width(any_live, n_steps)
+        x_w = x[:, :width] if width < n_steps else x
+        proj = _projection(x_w, w_x, b_h, "lstm.proj")
+        order = _time_order(width, reverse)
 
+        # Only ``h_seq`` is externally visible; the backward-pass tables
+        # cover just the live window.
         h_seq = np.empty((batch, n_steps, units))
-        c_seq = np.empty((batch, n_steps, units))
-        acts = np.zeros((batch, n_steps, 4 * units))   # i, f, g, o
-        tanh_c = np.zeros((batch, n_steps, units))
+        c_seq = np.empty((batch, width, units))
+        acts = np.zeros((batch, width, 4 * units))   # i, f, g, o
+        tanh_c = np.zeros((batch, width, units))
         h = np.zeros((batch, units))
         c = np.zeros((batch, units))
         for t in order:
@@ -306,19 +381,22 @@ class LSTMLevelFunction(Function):
             acts[:, t, 2 * units:3 * units] = g
             acts[:, t, 3 * units:] = o
             tanh_c[:, t] = tc
+        _fill_tail(h_seq, width, reverse, h)
 
-        ctx.x, ctx.w_x, ctx.w_h = x, w_x, w_h
+        ctx.x, ctx.x_shape, ctx.w_x, ctx.w_h = x_w, x.shape, w_x, w_h
         ctx.h_seq, ctx.c_seq, ctx.acts, ctx.tanh_c = h_seq, c_seq, acts, tanh_c
         ctx.mask, ctx.order = mask, order
-        ctx.any_live, ctx.all_live = any_live, all_live
+        ctx.any_live, ctx.all_live = any_live[:width], all_live[:width]
+        ctx.width, ctx.reverse = width, reverse
         return h_seq
 
     @staticmethod
     def backward(ctx: FunctionCtx, grad: np.ndarray
                  ) -> tuple[np.ndarray | None, ...]:
         h_seq, c_seq, acts, tanh_c = ctx.h_seq, ctx.c_seq, ctx.acts, ctx.tanh_c
-        mask, order, w_h = ctx.mask, ctx.order, ctx.w_h
-        batch, n_steps, units = h_seq.shape
+        mask, order, w_h, width = ctx.mask, ctx.order, ctx.w_h, ctx.width
+        batch, _, units = h_seq.shape
+        h_seq_w = h_seq[:, :width]
 
         # Whole-sequence precomputation: sigmoid'/tanh' factors and the
         # previous-state sequences (big vectorized ops beat per-step ones),
@@ -336,10 +414,11 @@ class LSTMLevelFunction(Function):
         c_prev_seq = _shift_prev(c_seq, order, "lstm.cprev")
         w_h_t = np.ascontiguousarray(w_h.T)
 
-        dproj = _dproj_scratch("lstm.dproj", (batch, n_steps, 4 * units),
+        dproj = _dproj_scratch("lstm.dproj", (batch, width, 4 * units),
                                ctx.any_live)
         dh = np.zeros((batch, units))
         dc = np.zeros((batch, units))
+        _tail_grad(dh, grad, width, ctx.reverse)
         for idx in range(len(order) - 1, -1, -1):
             t = order[idx]
             dh += grad[:, t]
@@ -368,10 +447,10 @@ class LSTMLevelFunction(Function):
 
         if ctx.needs_input_grad[2]:
             dw_h = _recurrent_weight_grad(
-                _shift_prev(h_seq, order, "lstm.hprev"), dproj)
+                _shift_prev(h_seq_w, order, "lstm.hprev"), dproj)
         else:
             dw_h = None
-        dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx)
+        dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx, ctx.x_shape)
         return dx, dw_x, dw_h, db
 
 
@@ -386,13 +465,15 @@ class GRULevelFunction(Function):
         _check_sequence(x, mask)
         batch, n_steps, _ = x.shape
         units = w_h.shape[0]
-        proj = _projection(x, w_x, b_h, "gru.proj")
         any_live, all_live = _classify_steps(mask, n_steps)
-        order = _time_order(n_steps, reverse)
+        width = _effective_width(any_live, n_steps)
+        x_w = x[:, :width] if width < n_steps else x
+        proj = _projection(x_w, w_x, b_h, "gru.proj")
+        order = _time_order(width, reverse)
 
         states = np.empty((batch, n_steps, units))
-        gates = np.zeros((batch, n_steps, 3 * units))  # z, r, n
-        rec_n = np.zeros((batch, n_steps, units))      # h_prev W_h candidate slice
+        gates = np.zeros((batch, width, 3 * units))  # z, r, n
+        rec_n = np.zeros((batch, width, units))      # h_prev W_h candidate slice
         h = np.zeros((batch, units))
         for t in order:
             if not any_live[t]:
@@ -409,21 +490,24 @@ class GRULevelFunction(Function):
             gates[:, t, units:2 * units] = r
             gates[:, t, 2 * units:] = n
             rec_n[:, t] = rec[:, 2 * units:]
+        _fill_tail(states, width, reverse, h)
 
-        ctx.x, ctx.w_x, ctx.w_h = x, w_x, w_h
+        ctx.x, ctx.x_shape, ctx.w_x, ctx.w_h = x_w, x.shape, w_x, w_h
         ctx.states, ctx.gates, ctx.rec_n = states, gates, rec_n
         ctx.mask, ctx.order = mask, order
-        ctx.any_live, ctx.all_live = any_live, all_live
+        ctx.any_live, ctx.all_live = any_live[:width], all_live[:width]
+        ctx.width, ctx.reverse = width, reverse
         return states
 
     @staticmethod
     def backward(ctx: FunctionCtx, grad: np.ndarray
                  ) -> tuple[np.ndarray | None, ...]:
         states, gates, rec_n = ctx.states, ctx.gates, ctx.rec_n
-        mask, order, w_h = ctx.mask, ctx.order, ctx.w_h
-        batch, n_steps, units = states.shape
+        mask, order, w_h, width = ctx.mask, ctx.order, ctx.w_h, ctx.width
+        batch, _, units = states.shape
+        states_w = states[:, :width]
 
-        # Whole-sequence precomputation, as in the other level backwards.
+        # Live-window precomputation, as in the other level backwards.
         z_all = gates[:, :, :units]
         r_all = gates[:, :, units:2 * units]
         n_all = gates[:, :, 2 * units:]
@@ -436,13 +520,14 @@ class GRULevelFunction(Function):
         n_deriv = _scratch.get("gru.nd", n_all.shape)
         np.multiply(n_all, n_all, out=n_deriv)
         np.subtract(1.0, n_deriv, out=n_deriv)
-        h_prev_seq = _shift_prev(states, order, "gru.prev")
+        h_prev_seq = _shift_prev(states_w, order, "gru.prev")
         w_h_t = np.ascontiguousarray(w_h.T)
 
-        dproj = _dproj_scratch("gru.dproj", (batch, n_steps, 3 * units),
+        dproj = _dproj_scratch("gru.dproj", (batch, width, 3 * units),
                                ctx.any_live)
         drec = _scratch.get("gru.drec", (batch, 3 * units))
         dh = np.zeros((batch, units))
+        _tail_grad(dh, grad, width, ctx.reverse)
         for idx in range(len(order) - 1, -1, -1):
             t = order[idx]
             dh += grad[:, t]
@@ -479,7 +564,7 @@ class GRULevelFunction(Function):
             dw_h = _recurrent_weight_grad(h_prev_seq, drec_seq)
         else:
             dw_h = None
-        dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx)
+        dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx, ctx.x_shape)
         return dx, dw_x, dw_h, db
 
 

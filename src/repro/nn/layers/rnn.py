@@ -225,25 +225,36 @@ class StackedRNN(Module):
                    collect_outputs: bool) -> tuple[Tensor, list[Tensor]]:
         """Reference implementation: one graph node per step per level."""
         batch_size, n_steps, _ = x.shape
-        time_order = (range(n_steps - 1, -1, -1) if self.reverse
-                      else range(n_steps))
         # Pre-classify every step once: fully padded steps are skipped,
-        # fully live steps avoid the carry-over select.
+        # fully live steps avoid the carry-over select.  The trailing
+        # block of steps that is padding for *every* row (right-padded
+        # batches whose longest value is short) is trimmed off wholesale:
+        # each level loops only over the effective width, and the tail
+        # states are reconstructed analytically (carried final state
+        # forward, untouched initial state in reverse) -- the same
+        # contract as the fused kernels' effective-length handling.
         if mask is None:
             any_live = [True] * n_steps
             all_live = [True] * n_steps
+            width = n_steps
         else:
             any_live = mask.any(axis=0).tolist()
             all_live = mask.all(axis=0).tolist()
+            width = n_steps
+            while width > 1 and not any_live[width - 1]:
+                width -= 1
+        time_order = (range(width - 1, -1, -1) if self.reverse
+                      else range(width))
 
-        sequence = x
+        sequence = x if width == n_steps else x[:, :width, :]
         states: list[Tensor | None] = []
+        initial = None
         for level, cell in enumerate(self.cells):
             # Batch the input projection over all time steps: one big
             # matmul instead of one per step.
             projected = sequence @ cell.w_x + cell.b_h
-            state = cell.initial_state(batch_size)
-            states = [None] * n_steps
+            state = initial = cell.initial_state(batch_size)
+            states = [None] * width
             for t in time_order:
                 if not any_live[t]:
                     states[t] = state
@@ -259,7 +270,15 @@ class StackedRNN(Module):
                 sequence = stack([cell.output(s) for s in states], axis=1)
         top = self.cells[-1]
         final_output = top.output(state)
-        outputs = [top.output(s) for s in states] if collect_outputs else []
+        outputs: list[Tensor] = []
+        if collect_outputs:
+            outputs = [top.output(s) for s in states]
+            if width < n_steps:
+                # Dead-tail steps carry the final state (forward) or never
+                # leave the initial state (reverse), exactly as the
+                # full-width loop would produce.
+                tail = (top.output(initial) if self.reverse else final_output)
+                outputs.extend([tail] * (n_steps - width))
         return final_output, outputs
 
 

@@ -3,11 +3,21 @@
 Works with multi-input models: a training example is a dict of named
 feature arrays (the paper's models take up to three inputs -- character
 indices, attribute index and normalised length) plus integer labels.
+
+Cell values have wildly skewed lengths (a beer name vs. a tax-record
+field), yet every ``values`` row is padded to the dataset-wide maximum.
+:class:`BucketBatchSampler` makes the hot path proportional to real
+characters instead of padding: examples are grouped into length buckets,
+shuffled within and across buckets, and each batch's padded arrays are
+trimmed to the batch's own maximum length.  Trimming only removes steps
+that are padding for every row, so training is equivalent to the
+full-padding path up to float accumulation order (and forward values are
+bit-for-bit identical -- see :mod:`repro.nn.kernels`).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +29,9 @@ from repro.nn.module import Module
 from repro.nn.optim import Optimizer, clip_gradients
 
 Features = dict[str, np.ndarray]
+
+#: Feature keys that carry a per-step (time) axis and may be trimmed.
+SEQUENCE_KEYS = ("values",)
 
 
 @dataclass
@@ -63,21 +76,157 @@ def _validate(features: Mapping[str, np.ndarray], labels: np.ndarray) -> int:
     return n
 
 
+def _gather(arr: np.ndarray, index: np.ndarray, key: str,
+            buffers: dict[str, np.ndarray] | None) -> np.ndarray:
+    """Contiguous fancy-gather of ``arr[index]`` along axis 0.
+
+    With ``buffers``, the result is written into a per-key reusable
+    buffer (reallocated only when the batch shape changes, i.e. for the
+    last partial batch), saving one allocation per feature per batch.
+    """
+    if buffers is None:
+        return np.take(arr, index, axis=0)
+    shape = (index.shape[0],) + arr.shape[1:]
+    buf = buffers.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != arr.dtype:
+        buf = np.empty(shape, dtype=arr.dtype)
+        buffers[key] = buf
+    return np.take(arr, index, axis=0, out=buf)
+
+
 def iterate_batches(features: Mapping[str, np.ndarray], labels: np.ndarray,
-                    batch_size: int, rng: np.random.Generator | None = None):
-    """Yield :class:`Batch` objects, optionally in shuffled order."""
+                    batch_size: int, rng: np.random.Generator | None = None,
+                    reuse_buffers: bool = False) -> Iterator[Batch]:
+    """Yield :class:`Batch` objects, optionally in shuffled order.
+
+    ``reuse_buffers=True`` gathers each batch into per-feature buffers
+    that are reused across iterations: a yielded batch's arrays are only
+    valid until the next batch is drawn.  The training loop (which fully
+    consumes a batch -- forward, backward, step -- before advancing) opts
+    in; leave it off when batches are collected or consumed lazily.
+    """
     n = _validate(features, labels)
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
     order = np.arange(n)
     if rng is not None:
         rng.shuffle(order)
+    buffers: dict[str, np.ndarray] | None = {} if reuse_buffers else None
     for start in range(0, n, batch_size):
         index = order[start:start + batch_size]
         yield Batch(
-            features={name: arr[index] for name, arr in features.items()},
-            labels=labels[index],
+            features={name: _gather(arr, index, name, buffers)
+                      for name, arr in features.items()},
+            labels=_gather(labels, index, "__labels__", buffers),
         )
+
+
+@dataclass(frozen=True)
+class BucketBatchSampler:
+    """Length-bucketed batching with padded-tail trimming.
+
+    Groups examples into buckets of similar sequence length, shuffles
+    within each bucket (so bucket membership, not example order, is the
+    only constraint), chunks each bucket into batches and shuffles the
+    batch order across buckets.  Each batch's sequence features (the
+    ``values`` array) are then trimmed to the batch's own maximum length,
+    so the RNN kernels never loop over steps that are padding for every
+    row.
+
+    Parameters
+    ----------
+    edges:
+        Explicit ascending bucket upper edges (inclusive).  Lengths above
+        the last edge fall into one extra overflow bucket.  ``None``
+        derives edges from quantiles of the observed lengths.
+    n_buckets:
+        Number of auto-quantile buckets when ``edges`` is ``None``.
+    trim_keys:
+        Feature keys carrying a ``(batch, time)``-like layout to trim.
+    trim:
+        ``False`` keeps full-width arrays (identical batch composition,
+        no trimming) -- the control arm used by the equivalence tests and
+        the bucketing benchmark.
+    """
+
+    edges: tuple[int, ...] | None = None
+    n_buckets: int = 4
+    trim_keys: tuple[str, ...] = SEQUENCE_KEYS
+    trim: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_buckets < 1:
+            raise ConfigurationError(
+                f"n_buckets must be >= 1, got {self.n_buckets}"
+            )
+        if self.edges is not None:
+            edges = tuple(self.edges)
+            if not edges or any(e < 1 for e in edges):
+                raise ConfigurationError(
+                    f"bucket edges must be positive, got {edges}"
+                )
+            if list(edges) != sorted(set(edges)):
+                raise ConfigurationError(
+                    f"bucket edges must be strictly ascending, got {edges}"
+                )
+
+    def resolve_edges(self, lengths: np.ndarray) -> tuple[int, ...]:
+        """The bucket upper edges used for ``lengths``.
+
+        Explicit edges are kept as given; auto-quantile edges are the
+        ``1/n .. n/n`` quantiles of the observed lengths (deduplicated,
+        so datasets with few distinct lengths get fewer buckets).  The
+        last auto edge always equals the maximum observed length.
+        """
+        if self.edges is not None:
+            return self.edges
+        quantiles = np.quantile(lengths, [(i + 1) / self.n_buckets
+                                          for i in range(self.n_buckets)])
+        edges = sorted({int(np.ceil(q)) for q in quantiles})
+        edges[-1] = max(edges[-1], int(lengths.max()))
+        return tuple(edges)
+
+    def batches(self, features: Mapping[str, np.ndarray], labels: np.ndarray,
+                lengths: np.ndarray, batch_size: int,
+                rng: np.random.Generator | None = None) -> Iterator[Batch]:
+        """Yield one epoch of bucketed (and optionally trimmed) batches.
+
+        Every example appears in exactly one batch per epoch.  With
+        ``rng=None`` the order is deterministic: buckets in edge order,
+        examples in dataset order within each bucket.
+        """
+        n = _validate(features, labels)
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        lengths = np.asarray(lengths).reshape(-1)
+        if lengths.shape[0] != n:
+            raise ConfigurationError(
+                f"lengths has {lengths.shape[0]} entries but features have {n} rows"
+            )
+        edges = self.resolve_edges(lengths)
+        # First bucket whose edge covers the length; lengths beyond the
+        # last explicit edge land in an overflow bucket.
+        bucket_of = np.searchsorted(np.asarray(edges), lengths, side="left")
+        order = np.arange(n)
+        if rng is not None:
+            rng.shuffle(order)  # within-bucket order (stable partition below)
+        batches: list[np.ndarray] = []
+        for bucket in range(len(edges) + 1):
+            members = order[bucket_of[order] == bucket]
+            for start in range(0, members.shape[0], batch_size):
+                batches.append(members[start:start + batch_size])
+        if rng is not None:
+            rng.shuffle(batches)  # across buckets
+        for index in batches:
+            width = max(int(lengths[index].max()), 1)
+            feats: Features = {}
+            for name, arr in features.items():
+                part = np.take(arr, index, axis=0)
+                if (self.trim and name in self.trim_keys and part.ndim >= 2
+                        and width < part.shape[1]):
+                    part = part[:, :width]
+                feats[name] = part
+            yield Batch(features=feats, labels=np.take(labels, index, axis=0))
 
 
 @dataclass
@@ -104,6 +253,10 @@ class Trainer:
     callbacks:
         Extra callbacks; a :class:`History` is always appended and exposed
         as :attr:`history`.
+    batch_sampler:
+        Optional :class:`BucketBatchSampler`; used by :meth:`fit` when
+        per-example ``lengths`` are supplied, making each training step's
+        cost proportional to real characters instead of padding.
     """
 
     model: Module
@@ -112,6 +265,7 @@ class Trainer:
     max_grad_norm: float | None = 5.0
     rng: np.random.Generator | None = None
     callbacks: Sequence[Callback] = field(default_factory=tuple)
+    batch_sampler: BucketBatchSampler | None = None
     history: History = field(init=False)
 
     def __post_init__(self) -> None:
@@ -119,8 +273,13 @@ class Trainer:
         self._all_callbacks: list[Callback] = list(self.callbacks) + [self.history]
 
     def fit(self, features: Features, labels: np.ndarray, epochs: int,
-            batch_size: int) -> History:
-        """Train for ``epochs`` passes over the data; returns the history."""
+            batch_size: int, lengths: np.ndarray | None = None) -> History:
+        """Train for ``epochs`` passes over the data; returns the history.
+
+        With both a :attr:`batch_sampler` and per-example ``lengths``,
+        batches are length-bucketed and trimmed; otherwise the plain
+        shuffled iteration is used (``lengths`` is then ignored).
+        """
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
         labels = np.asarray(labels)
@@ -134,7 +293,13 @@ class Trainer:
         for epoch in range(epochs):
             epoch_loss = 0.0
             examples = 0
-            for batch in iterate_batches(features, labels, batch_size, rng=self.rng):
+            if self.batch_sampler is not None and lengths is not None:
+                batch_iter = self.batch_sampler.batches(
+                    features, labels, lengths, batch_size, rng=self.rng)
+            else:
+                batch_iter = iterate_batches(features, labels, batch_size,
+                                             rng=self.rng, reuse_buffers=True)
+            for batch in batch_iter:
                 self.optimizer.zero_grad()
                 if model_loss is not None:
                     loss = model_loss(batch.features, batch.labels)
@@ -156,20 +321,59 @@ class Trainer:
             callback.on_train_end(self.model)
         return self.history
 
-    def predict_proba(self, features: Features, batch_size: int = 256) -> np.ndarray:
+    def predict_proba(self, features: Features, batch_size: int = 256,
+                      lengths: np.ndarray | None = None) -> np.ndarray:
         """Class probabilities in eval mode, without recording gradients."""
         self.model.eval()
-        return predict_proba(self.model, features, batch_size=batch_size)
+        return predict_proba(self.model, features, batch_size=batch_size,
+                             lengths=lengths)
 
 
 def predict_proba(model: Module, features: Features,
-                  batch_size: int = 256) -> np.ndarray:
-    """Run ``model`` over ``features`` in chunks; returns ``(n, n_classes)``."""
+                  batch_size: int = 256,
+                  lengths: np.ndarray | None = None) -> np.ndarray:
+    """Run ``model`` over ``features`` in chunks; returns ``(n, n_classes)``.
+
+    The output array is preallocated once and filled chunk by chunk, so
+    peak memory is one output array plus one chunk (not a full second
+    copy from concatenation).  With per-example ``lengths``, examples are
+    processed in sorted-by-length chunks whose ``values`` arrays are
+    trimmed to the chunk maximum (padding steps carry state unchanged, so
+    per-example outputs are bit-for-bit identical), and results are
+    un-permuted back to input order.
+    """
     n = _validate_features(features)
-    outputs: list[np.ndarray] = []
+    out: np.ndarray | None = None
+    if lengths is None:
+        with no_grad():
+            for start in range(0, n, batch_size):
+                chunk = {name: arr[start:start + batch_size]
+                         for name, arr in features.items()}
+                probs = model(chunk).numpy()
+                if out is None:
+                    out = np.empty((n, probs.shape[1]), dtype=probs.dtype)
+                out[start:start + batch_size] = probs
+        return out
+
+    lengths = np.asarray(lengths).reshape(-1)
+    if lengths.shape[0] != n:
+        raise ConfigurationError(
+            f"lengths has {lengths.shape[0]} entries but features have {n} rows"
+        )
+    order = np.argsort(lengths, kind="stable")
     with no_grad():
         for start in range(0, n, batch_size):
-            chunk = {name: arr[start:start + batch_size]
-                     for name, arr in features.items()}
-            outputs.append(model(chunk).numpy())
-    return np.concatenate(outputs, axis=0)
+            index = order[start:start + batch_size]
+            width = max(int(lengths[index].max()), 1)
+            chunk = {}
+            for name, arr in features.items():
+                part = np.take(arr, index, axis=0)
+                if (name in SEQUENCE_KEYS and part.ndim >= 2
+                        and width < part.shape[1]):
+                    part = part[:, :width]
+                chunk[name] = part
+            probs = model(chunk).numpy()
+            if out is None:
+                out = np.empty((n, probs.shape[1]), dtype=probs.dtype)
+            out[index] = probs
+    return out

@@ -50,6 +50,24 @@ class TestEncodeCells:
         assert sub.attribute_names == (encoded.attribute_names[0],
                                        encoded.attribute_names[2])
 
+    def test_lengths_match_values(self, prepared):
+        encoded = encode_cells(prepared)
+        assert encoded.lengths is not None
+        assert encoded.lengths.shape == encoded.labels.shape
+        assert encoded.lengths.dtype == np.int64
+        for i, row in enumerate(prepared.df.iter_rows()):
+            assert encoded.lengths[i] == len(row["value_x"])
+        # The length is exactly the non-pad prefix of the padded row.
+        values = encoded.features["values"]
+        for i, ell in enumerate(encoded.lengths):
+            assert (values[i, :ell] != 0).all()
+            assert (values[i, ell:] == 0).all()
+
+    def test_subset_slices_lengths(self, prepared):
+        encoded = encode_cells(prepared)
+        sub = encoded.subset(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.lengths, encoded.lengths[[1, 3]])
+
     def test_missing_column_rejected(self, prepared):
         broken = prepared.df.drop(["label"])
         with pytest.raises(DataError):
@@ -96,3 +114,10 @@ class TestSplitByTupleIds:
     def test_train_tuple_ids_preserved_in_order(self, prepared):
         split = split_by_tuple_ids(prepared, [3, 1])
         assert split.train_tuple_ids == (3, 1)
+
+    def test_split_sides_carry_lengths(self, prepared):
+        split = split_by_tuple_ids(prepared, [0, 2])
+        assert split.train.lengths is not None
+        assert split.test.lengths is not None
+        assert split.train.lengths.shape[0] == split.train_size
+        assert split.test.lengths.shape[0] == split.test_size

@@ -1,0 +1,259 @@
+"""Tests for length-bucketed batching and padding-aware inference.
+
+The contract under test (see :mod:`repro.nn.training` and
+:mod:`repro.nn.kernels`): trimming a batch's padded tail only removes
+steps that are padding for *every* row, so
+
+* forward values are bit-for-bit identical to the full-padding path, and
+* training trajectories agree up to float accumulation order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models import ModelConfig
+from repro.models.tsb_rnn import TSBRNN
+from repro.nn import (
+    BucketBatchSampler,
+    RMSprop,
+    Trainer,
+    use_backend,
+)
+from repro.nn.training import predict_proba
+
+TINY = ModelConfig(char_embed_dim=5, value_units=6, num_layers=2,
+                   head_units=7)
+
+VOCAB = 12
+
+
+def skewed_dataset(n=48, max_length=40, seed=0):
+    """Padded index sequences with heavily skewed true lengths.
+
+    Most values are short (as in the benchmark datasets' name/city/state
+    columns), a few are near the dataset-wide maximum -- the regime where
+    full padding wastes the most work.
+    """
+    rng = np.random.default_rng(seed)
+    short = rng.integers(2, 8, size=int(n * 0.8))
+    long = rng.integers(max_length - 6, max_length + 1, size=n - short.shape[0])
+    lengths = np.concatenate([short, long])
+    rng.shuffle(lengths)
+    values = np.zeros((n, max_length), dtype=np.int64)
+    for i, ell in enumerate(lengths):
+        values[i, :ell] = rng.integers(1, VOCAB, size=ell)
+    labels = rng.integers(0, 2, size=n).astype(np.int64)
+    return {"values": values}, labels, lengths.astype(np.int64)
+
+
+class TestBucketBatchSampler:
+    def test_invalid_n_buckets(self):
+        with pytest.raises(ConfigurationError):
+            BucketBatchSampler(n_buckets=0)
+
+    @pytest.mark.parametrize("edges", [(), (0, 4), (4, 4), (8, 4)])
+    def test_invalid_edges(self, edges):
+        with pytest.raises(ConfigurationError):
+            BucketBatchSampler(edges=edges)
+
+    def test_lengths_row_mismatch_rejected(self):
+        features, labels, _ = skewed_dataset(n=8)
+        sampler = BucketBatchSampler()
+        with pytest.raises(ConfigurationError):
+            list(sampler.batches(features, labels, np.arange(5), 4))
+
+    def test_auto_edges_cover_max_and_dedup(self):
+        lengths = np.array([3, 3, 3, 3, 3, 30])
+        edges = BucketBatchSampler(n_buckets=4).resolve_edges(lengths)
+        assert edges == tuple(sorted(set(edges)))
+        assert edges[-1] >= 30
+        # Five of six values are identical: quantile dedup leaves fewer
+        # buckets than requested rather than empty ones.
+        assert len(edges) <= 4
+
+    def test_explicit_edges_kept(self):
+        sampler = BucketBatchSampler(edges=(4, 16))
+        assert sampler.resolve_edges(np.array([1, 2, 3])) == (4, 16)
+
+    def test_overflow_bucket_covers_long_examples(self):
+        features, labels, lengths = skewed_dataset()
+        sampler = BucketBatchSampler(edges=(4,))  # everything above 4 overflows
+        seen = np.concatenate([
+            batch.labels for batch in
+            sampler.batches(features, labels, lengths, 8)
+        ])
+        assert seen.shape[0] == labels.shape[0]
+
+    def test_each_batch_is_length_homogeneous(self):
+        features, labels, lengths = skewed_dataset()
+        sampler = BucketBatchSampler(n_buckets=4)
+        edges = np.asarray(sampler.resolve_edges(lengths))
+        position = {}
+        for i, ell in enumerate(lengths):
+            position[i] = int(np.searchsorted(edges, ell, side="left"))
+        # Re-run with labels = row index so batches reveal membership.
+        index_labels = np.arange(labels.shape[0])
+        for batch in sampler.batches(features, index_labels, lengths, 8,
+                                     rng=np.random.default_rng(3)):
+            buckets = {position[int(i)] for i in batch.labels}
+            assert len(buckets) == 1
+
+    def test_trims_to_batch_max_length(self):
+        features, labels, lengths = skewed_dataset()
+        index_labels = np.arange(labels.shape[0])
+        sampler = BucketBatchSampler(n_buckets=4)
+        for batch in sampler.batches(features, index_labels, lengths, 8):
+            width = batch.features["values"].shape[1]
+            assert width == max(int(lengths[batch.labels].max()), 1)
+            # No live character is ever cut off.
+            assert (lengths[batch.labels] <= width).all()
+
+    def test_trim_false_keeps_full_width(self):
+        features, labels, lengths = skewed_dataset()
+        sampler = BucketBatchSampler(n_buckets=4, trim=False)
+        for batch in sampler.batches(features, labels, lengths, 8):
+            assert batch.features["values"].shape[1] == features["values"].shape[1]
+
+    def test_trim_and_control_have_identical_composition(self):
+        """trim only narrows arrays; batch membership/order is untouched."""
+        features, labels, lengths = skewed_dataset()
+        index_labels = np.arange(labels.shape[0])
+        trimmed = list(BucketBatchSampler(n_buckets=4).batches(
+            features, index_labels, lengths, 8, rng=np.random.default_rng(7)))
+        control = list(BucketBatchSampler(n_buckets=4, trim=False).batches(
+            features, index_labels, lengths, 8, rng=np.random.default_rng(7)))
+        assert len(trimmed) == len(control)
+        for a, b in zip(trimmed, control):
+            np.testing.assert_array_equal(a.labels, b.labels)
+            width = a.features["values"].shape[1]
+            np.testing.assert_array_equal(a.features["values"],
+                                          b.features["values"][:, :width])
+            assert (b.features["values"][:, width:] == 0).all()
+
+    def test_shuffle_changes_order_not_membership(self):
+        features, labels, lengths = skewed_dataset()
+        index_labels = np.arange(labels.shape[0])
+        sampler = BucketBatchSampler(n_buckets=4)
+        a = [b.labels.tolist() for b in sampler.batches(
+            features, index_labels, lengths, 8, rng=np.random.default_rng(1))]
+        b = [b.labels.tolist() for b in sampler.batches(
+            features, index_labels, lengths, 8, rng=np.random.default_rng(2))]
+        assert a != b  # order differs ...
+        assert (sorted(i for batch in a for i in batch)
+                == sorted(i for batch in b for i in batch))  # ... coverage not
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, 30), min_size=1, max_size=40),
+        batch_size=st.integers(1, 12),
+        n_buckets=st.integers(1, 6),
+        shuffle_seed=st.one_of(st.none(), st.integers(0, 99)),
+    )
+    def test_every_example_exactly_once_per_epoch(self, lengths, batch_size,
+                                                  n_buckets, shuffle_seed):
+        """Property: one epoch is an exact partition of the dataset."""
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n = lengths.shape[0]
+        values = np.zeros((n, 30), dtype=np.int64)
+        for i, ell in enumerate(lengths):
+            values[i, :ell] = 1
+        rng = (None if shuffle_seed is None
+               else np.random.default_rng(shuffle_seed))
+        sampler = BucketBatchSampler(n_buckets=n_buckets)
+        seen = [
+            int(i) for batch in
+            sampler.batches({"values": values}, np.arange(n), lengths,
+                            batch_size, rng=rng)
+            for i in batch.labels
+        ]
+        assert sorted(seen) == list(range(n))
+
+
+@pytest.mark.parametrize("backend", ["fused", "graph"])
+class TestBucketedEquivalence:
+    """Bucketed-vs-full-padding equivalence on both compute backends."""
+
+    def _fit(self, trim: bool, backend: str, epochs: int = 3):
+        features, labels, lengths = skewed_dataset()
+        model = TSBRNN(VOCAB, TINY, np.random.default_rng(11))
+        trainer = Trainer(
+            model=model,
+            optimizer=RMSprop(model.parameters(), 0.005),
+            loss_fn=lambda probs, y: None,  # models define training_loss
+            rng=np.random.default_rng(5),
+            batch_sampler=BucketBatchSampler(n_buckets=3, trim=trim),
+        )
+        with use_backend(backend):
+            history = trainer.fit(features, labels, epochs=epochs,
+                                  batch_size=12, lengths=lengths)
+            probs = trainer.predict_proba(features)
+        return history.series("loss"), probs
+
+    def test_forward_bit_for_bit(self, backend):
+        """A trimmed batch yields byte-identical probabilities."""
+        features, _, lengths = skewed_dataset()
+        model = TSBRNN(VOCAB, TINY, np.random.default_rng(11))
+        model.eval()
+        short = np.flatnonzero(lengths < 10)
+        width = int(lengths[short].max())
+        full = {"values": features["values"][short]}
+        trimmed = {"values": features["values"][short][:, :width]}
+        with use_backend(backend):
+            a = model(full).numpy()
+            b = model(trimmed).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_loss_trajectory(self, backend):
+        """Same seed, same batches: trimming changes nothing but padding.
+
+        Loss values agree to float accumulation order (the trimmed GEMMs
+        reduce over fewer-but-identical terms in a different grouping),
+        hence allclose at near-machine tolerance rather than equality.
+        """
+        bucketed, probs_bucketed = self._fit(trim=True, backend=backend)
+        control, probs_control = self._fit(trim=False, backend=backend)
+        np.testing.assert_allclose(bucketed, control, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(probs_bucketed, probs_control,
+                                   rtol=1e-7, atol=1e-10)
+        assert np.argmax(probs_bucketed, axis=1).tolist() \
+            == np.argmax(probs_control, axis=1).tolist()
+
+    def test_backends_agree_on_bucketed_training(self, backend):
+        """Anchor both backends to one reference trajectory (fused)."""
+        losses, _ = self._fit(trim=True, backend=backend, epochs=2)
+        reference, _ = self._fit(trim=True, backend="fused", epochs=2)
+        np.testing.assert_allclose(losses, reference, rtol=1e-9, atol=1e-12)
+
+
+class TestPredictProbaLengths:
+    def test_sorted_chunking_matches_plain(self):
+        features, _, lengths = skewed_dataset()
+        model = TSBRNN(VOCAB, TINY, np.random.default_rng(2))
+        model.eval()
+        plain = predict_proba(model, features, batch_size=7)
+        sorted_ = predict_proba(model, features, batch_size=7,
+                                lengths=lengths)
+        np.testing.assert_array_equal(plain, sorted_)
+
+    def test_lengths_mismatch_rejected(self):
+        features, _, _ = skewed_dataset(n=6)
+        model = TSBRNN(VOCAB, TINY, np.random.default_rng(2))
+        with pytest.raises(ConfigurationError):
+            predict_proba(model, features, lengths=np.arange(4))
+
+    def test_trainer_falls_back_without_lengths(self):
+        """A sampler without lengths silently uses plain iteration."""
+        features, labels, _ = skewed_dataset(n=16)
+        model = TSBRNN(VOCAB, TINY, np.random.default_rng(0))
+        trainer = Trainer(
+            model=model,
+            optimizer=RMSprop(model.parameters(), 0.005),
+            loss_fn=lambda probs, y: None,
+            rng=np.random.default_rng(0),
+            batch_sampler=BucketBatchSampler(),
+        )
+        history = trainer.fit(features, labels, epochs=1, batch_size=8)
+        assert len(history.epochs) == 1
