@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-bucketing bench-full report examples clean
+.PHONY: install test bench bench-smoke bench-bucketing bench-dedup bench-full report examples clean
 
 install:
 	pip install -e .
@@ -12,18 +12,24 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Fast regression gates: fused RNN kernels must be >= 2x faster than the
-# graph backend (benchmarks/results/backend_speedup.txt) and bucketed
+# graph backend (benchmarks/results/backend_speedup.txt), bucketed
 # trimmed batches >= 1.3x faster than full padding on both backends
-# (benchmarks/results/BENCH_bucketing.json).  The bucketed-vs-full
-# equivalence suite then runs under each default backend.
+# (benchmarks/results/BENCH_bucketing.json), and dedup-memoized
+# prediction >= 3x faster than the naive forward on both backends
+# (benchmarks/results/BENCH_dedup_infer.json).  The bucketed-vs-full
+# and memoized-vs-naive equivalence suites then run under each backend.
 bench-smoke:
-	pytest benchmarks/test_substrate_microbench.py benchmarks/test_bucketing_bench.py -m bench_smoke -q
-	REPRO_NN_BACKEND=fused pytest tests/nn/test_bucketing.py -q
-	REPRO_NN_BACKEND=graph pytest tests/nn/test_bucketing.py -q
+	pytest benchmarks/test_substrate_microbench.py benchmarks/test_bucketing_bench.py benchmarks/test_dedup_bench.py -m bench_smoke -q
+	REPRO_NN_BACKEND=fused pytest tests/nn/test_bucketing.py tests/inference/ -q
+	REPRO_NN_BACKEND=graph pytest tests/nn/test_bucketing.py tests/inference/ -q
 
 # Bucketed-batching speedup gate alone (writes BENCH_bucketing.json).
 bench-bucketing:
 	pytest benchmarks/test_bucketing_bench.py -m bench_smoke -q
+
+# Dedup-inference speedup gate alone (writes BENCH_dedup_infer.json).
+bench-dedup:
+	pytest benchmarks/test_dedup_bench.py -m bench_smoke -q
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

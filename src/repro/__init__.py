@@ -12,6 +12,7 @@ Quickstart
 Subpackages
 -----------
 - :mod:`repro.models` -- TSB-RNN / ETSB-RNN and the ErrorDetector API
+- :mod:`repro.inference` -- dedup-memoized inference engine and prediction cache
 - :mod:`repro.sampling` -- RandomSet / RahaSet / DiverSet trainset selection
 - :mod:`repro.dataprep` -- the Figure 3 preparation pipeline
 - :mod:`repro.datasets` -- the six benchmark dataset generators
@@ -23,6 +24,12 @@ Subpackages
 """
 
 from repro.datasets import load as load_dataset
+from repro.inference import (
+    DedupIndex,
+    InferenceEngine,
+    InferenceStats,
+    PredictionCache,
+)
 from repro.models import (
     DetectionResult,
     ErrorDetector,
@@ -39,6 +46,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ErrorDetector",
     "DetectionResult",
+    "DedupIndex",
+    "InferenceEngine",
+    "InferenceStats",
+    "PredictionCache",
     "TSBRNN",
     "ETSBRNN",
     "ModelConfig",

@@ -1,14 +1,19 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main workflows::
+The subcommands mirror the library's main workflows::
 
     repro datasets                          # Table 2 overview
     repro detect  --dirty d.csv --clean c.csv --out errors.csv
     repro repair  --dirty d.csv --clean c.csv --out repaired.csv
+    repro predict --model model.npz --dirty d.csv
+    repro serve   --model model.npz a.csv b.csv c.csv
     repro benchmark --dataset beers --rows 200 --runs 2
 
 ``detect``/``repair`` also accept ``--save model.npz`` /
-``--model model.npz`` for reusing a trained detector.
+``--model model.npz`` for reusing a trained detector.  ``predict`` and
+``serve`` score through the dedup-memoized inference engine (disable
+with ``--no-dedup``; size the cross-call cache with ``--cache-size``);
+``serve`` keeps the prediction cache warm across input files.
 """
 
 from __future__ import annotations
@@ -28,6 +33,16 @@ from repro.repair import (
     RepairPipeline,
 )
 from repro.table import Table, read_csv, write_csv
+
+
+def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="disable the dedup-memoized inference engine "
+                             "(predictions are identical; this is the "
+                             "naive-baseline switch)")
+    parser.add_argument("--cache-size", type=int, default=None,
+                        help="prediction-cache capacity in unique cells "
+                             "(default: 65536)")
 
 
 def _add_training_flags(parser: argparse.ArgumentParser) -> None:
@@ -110,11 +125,16 @@ def cmd_repair(args) -> int:
     return 0
 
 
-def cmd_predict(args) -> int:
-    from repro.models.serialization import encode_values_for, load_detector
+def _score_csv(detector: ErrorDetector, dirty: Table) -> Table | None:
+    """Score every cell of ``dirty`` with a loaded detector.
 
-    detector = load_detector(args.model)
-    dirty = read_csv(args.dirty)
+    Returns the flagged-cells table, or ``None`` when no column matches
+    the model's attributes.  Prediction runs through the detector's
+    dedup-memoized inference engine, so duplicate cells (and, across
+    calls, previously seen cells) skip the network.
+    """
+    from repro.models.serialization import encode_values_for
+
     known = set(detector.prepared.attributes)
     usable = [name for name in dirty.column_names if name in known]
     skipped = [name for name in dirty.column_names if name not in known]
@@ -122,9 +142,7 @@ def cmd_predict(args) -> int:
         print(f"skipping columns the model never saw: {skipped}",
               file=sys.stderr)
     if not usable:
-        print("error: no column of this CSV matches the model's attributes",
-              file=sys.stderr)
-        return 1
+        return None
 
     rows, attrs, values = [], [], []
     for name in usable:
@@ -136,18 +154,88 @@ def cmd_predict(args) -> int:
     predictions = detector.predict(features)
     flagged = [(rows[i], attrs[i], values[i])
                for i in range(len(rows)) if predictions[i] == 1]
-    out = Table({
+    return Table({
         "row": [r for r, _, __ in flagged],
         "attribute": [a for _, a, __ in flagged],
         "value": [v for _, __, v in flagged],
     })
+
+
+def _configure_inference(detector: ErrorDetector, args) -> None:
+    """Apply the shared --no-dedup / --cache-size serving flags."""
+    detector.deduplicate = not args.no_dedup
+    if args.cache_size is not None:
+        detector.prediction_cache.resize(args.cache_size)
+
+
+def cmd_predict(args) -> int:
+    from repro.models.serialization import load_detector
+
+    detector = load_detector(args.model)
+    _configure_inference(detector, args)
+    out = _score_csv(detector, read_csv(args.dirty))
+    if out is None:
+        print("error: no column of this CSV matches the model's attributes",
+              file=sys.stderr)
+        return 1
     if args.out:
         write_csv(out, args.out)
         print(f"{out.n_rows} suspicious cells written to {args.out}",
               file=sys.stderr)
     else:
         print(out.preview(min(out.n_rows, 50)))
+    stats = detector.inference_stats
+    if stats is not None:
+        print(f"inference: {stats.n_rows} cells, {stats.n_unique} unique "
+              f"({stats.unique_ratio:.1%}), cache hits {stats.cache_hits} / "
+              f"misses {stats.cache_misses}", file=sys.stderr)
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Batch-scoring loop: load the model once, score many CSVs.
+
+    The detector's prediction cache persists across files, so any cell
+    (attribute, value) pair seen in an earlier file is served without
+    touching the network -- the serving-traffic fast path.
+    """
+    from pathlib import Path
+
+    from repro.models.serialization import load_detector
+
+    detector = load_detector(args.model)
+    _configure_inference(detector, args)
+    failures = 0
+    for path in args.inputs:
+        out = _score_csv(detector, read_csv(path))
+        if out is None:
+            print(f"{path}: no column matches the model's attributes",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        stats = detector.inference_stats
+        detail = ""
+        if stats is not None:
+            detail = (f" ({stats.n_unique}/{stats.n_rows} unique, "
+                      f"{stats.cache_hits} cache hits)")
+        print(f"{path}: {out.n_rows} suspicious cells{detail}",
+              file=sys.stderr)
+        if args.out_dir:
+            target = Path(args.out_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            dest = target / f"{Path(path).stem}.errors.csv"
+            write_csv(out, dest)
+            print(f"  written to {dest}", file=sys.stderr)
+        else:
+            print(out.preview(min(out.n_rows, 20)))
+    cache = detector.prediction_cache
+    total = detector.trainer.total_inference_stats
+    print(f"served {len(args.inputs) - failures}/{len(args.inputs)} files: "
+          f"{total.n_rows} cells, {total.n_evaluated} network forwards, "
+          f"cache hit rate {cache.hit_rate:.1%} "
+          f"({cache.hits} hits / {cache.misses} misses, "
+          f"{len(cache)} entries)", file=sys.stderr)
+    return 1 if failures == len(args.inputs) else 0
 
 
 def cmd_analyze(args) -> int:
@@ -224,7 +312,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="detector archive from 'detect --save'")
     p_predict.add_argument("--dirty", required=True)
     p_predict.add_argument("--out", help="write flagged cells to this CSV")
+    _add_serving_flags(p_predict)
     p_predict.set_defaults(fn=cmd_predict)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="batch-score many CSVs with one saved model; the prediction "
+             "cache persists across files")
+    p_serve.add_argument("--model", required=True,
+                         help="detector archive from 'detect --save'")
+    p_serve.add_argument("inputs", nargs="+", metavar="CSV",
+                         help="dirty CSV files to score in order")
+    p_serve.add_argument("--out-dir",
+                         help="write one <name>.errors.csv per input here")
+    _add_serving_flags(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_analyze = sub.add_parser(
         "analyze", help="per-attribute error analysis on a CSV pair")

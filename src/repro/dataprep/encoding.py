@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.dataprep.pipeline import PreparedData
 from repro.errors import DataError
+from repro.inference.index import DedupIndex, build_dedup_index
 from repro.table import Table
 
 _REQUIRED_COLUMNS = ("id_", "attribute", "value_x", "label", "length_norm")
@@ -40,6 +41,11 @@ class EncodedCells:
         row, stored at encoding time so downstream consumers (bucketed
         batching, sorted inference chunking) never re-derive it from the
         padding.  ``None`` only for hand-built instances.
+    dedup:
+        Unique-cell index over the feature rows (first-occurrence
+        representatives + inverse scatter map), computed at encoding time
+        so the dedup-memoized inference engine never re-hashes the
+        table.  ``None`` only for hand-built instances.
     """
 
     features: dict[str, np.ndarray]
@@ -47,20 +53,41 @@ class EncodedCells:
     tuple_ids: np.ndarray
     attribute_names: tuple[str, ...]
     lengths: np.ndarray | None = None
+    dedup: DedupIndex | None = None
 
     @property
     def n_cells(self) -> int:
         """Number of encoded cells."""
         return int(self.labels.shape[0])
 
+    def _attribute_name_array(self) -> np.ndarray:
+        """The attribute names as an object ndarray (built once, memoised)."""
+        cached = self.__dict__.get("_names_arr")
+        if cached is None:
+            cached = np.empty(len(self.attribute_names), dtype=object)
+            cached[:] = self.attribute_names
+            object.__setattr__(self, "_names_arr", cached)
+        return cached
+
     def subset(self, indices: np.ndarray) -> EncodedCells:
-        """Select a row subset (used for train/test splits)."""
+        """Select a row subset (used for train/test splits).
+
+        Every field is gathered with vectorised numpy indexing -- the
+        attribute names through a memoised object-array gather -- so the
+        hot arrays are copied without any per-row Python loop, and the
+        unique-cell index is re-numbered to the subset (not rebuilt).
+        """
+        indices = np.asarray(indices)
+        names = self._attribute_name_array()[indices]
         return EncodedCells(
-            features={k: v[indices] for k, v in self.features.items()},
-            labels=self.labels[indices],
-            tuple_ids=self.tuple_ids[indices],
-            attribute_names=tuple(self.attribute_names[i] for i in indices),
-            lengths=None if self.lengths is None else self.lengths[indices],
+            features={k: np.take(v, indices, axis=0)
+                      for k, v in self.features.items()},
+            labels=np.take(self.labels, indices, axis=0),
+            tuple_ids=np.take(self.tuple_ids, indices, axis=0),
+            attribute_names=tuple(names.tolist()),
+            lengths=(None if self.lengths is None
+                     else np.take(self.lengths, indices, axis=0)),
+            dedup=None if self.dedup is None else self.dedup.subset(indices),
         )
 
 
@@ -103,16 +130,21 @@ def encode_cells(prepared: PreparedData, df: Table | None = None,
         labels[i] = int(label_col[i])
         tuple_ids[i] = int(id_col[i])
 
+    features = {
+        "values": values,
+        "attributes": attributes,
+        "length_norm": length_norm,
+    }
     return EncodedCells(
-        features={
-            "values": values,
-            "attributes": attributes,
-            "length_norm": length_norm,
-        },
+        features=features,
         labels=labels,
         tuple_ids=tuple_ids,
         attribute_names=tuple(attr_col),
         # Encoded characters are contiguous from position 0 and never map
         # to the pad index, so the true length is the non-pad count.
         lengths=np.count_nonzero(values, axis=1).astype(np.int64),
+        # Unique-cell index over (attribute, value) pairs: the encoded
+        # features determine -- and are determined by -- the pair, so
+        # byte-identical rows are exactly the duplicate cells.
+        dedup=build_dedup_index(features),
     )

@@ -36,7 +36,13 @@ from repro.sampling import DiverSet, Sampler
 
 @dataclass(frozen=True)
 class RunResult:
-    """One training run's outcome."""
+    """One training run's outcome.
+
+    ``unique_cell_ratio`` and the cache counters describe the evaluation
+    prediction pass (the dedup-memoized inference engine): how many test
+    cells were duplicates and how many were served from the prediction
+    cache, keeping inference speedups observable run by run.
+    """
 
     seed: int
     report: ClassificationReport
@@ -44,6 +50,9 @@ class RunResult:
     best_epoch: int | None
     train_accuracy_curve: tuple[float, ...] = ()
     test_accuracy_curve: tuple[float, ...] = ()
+    unique_cell_ratio: float | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,19 @@ class ExperimentResult:
     def train_seconds(self) -> Summary:
         """Training-time summary over runs."""
         return summarize([run.train_seconds for run in self.runs])
+
+    @property
+    def unique_cell_ratio(self) -> float | None:
+        """Mean unique-cell ratio of the runs' evaluation passes."""
+        ratios = [run.unique_cell_ratio for run in self.runs
+                  if run.unique_cell_ratio is not None]
+        return sum(ratios) / len(ratios) if ratios else None
+
+    @property
+    def cache_counters(self) -> tuple[int, int]:
+        """Total (hits, misses) of the runs' evaluation prediction caches."""
+        return (sum(run.cache_hits for run in self.runs),
+                sum(run.cache_misses for run in self.runs))
 
     def as_row(self) -> dict[str, float]:
         """Flat dict used by the table renderers."""
@@ -116,15 +138,20 @@ def _execute_run(pair: DatasetPair, architecture: str,
     started = time.perf_counter()
     detector.fit(pair)
     elapsed = time.perf_counter() - started
-    report = detector.evaluate().report
+    result = detector.evaluate()
     assert detector.checkpoint is not None
+    inference = result.inference
     return RunResult(
         seed=seed,
-        report=report,
+        report=result.report,
         train_seconds=elapsed,
         best_epoch=detector.checkpoint.best_epoch,
         train_accuracy_curve=tuple(curve_logs["train_acc"]),
         test_accuracy_curve=tuple(curve_logs["test_acc"]),
+        unique_cell_ratio=(None if inference is None
+                           else round(inference.unique_ratio, 4)),
+        cache_hits=0 if inference is None else inference.cache_hits,
+        cache_misses=0 if inference is None else inference.cache_misses,
     )
 
 

@@ -1,0 +1,32 @@
+"""Dedup-aware inference: predict once per unique cell, serve the rest.
+
+Real relational tables repeat the same (attribute, value) pair across
+thousands of rows, yet the paper's model scores a cell from only three
+inputs -- its character sequence, attribute id and normalised length --
+so duplicate cells are guaranteed to produce identical probabilities.
+This package exploits that:
+
+* :class:`DedupIndex` (:mod:`repro.inference.index`) -- a unique-cell
+  index over the encoded feature rows: first-occurrence representatives
+  plus an inverse scatter map, built vectorised with ``np.unique`` and
+  carried on :class:`~repro.dataprep.encoding.EncodedCells`;
+* :class:`PredictionCache` (:mod:`repro.inference.cache`) -- a cross-call
+  LRU keyed by (weights version, attribute id, encoded value) with
+  explicit invalidation whenever the model's weights change;
+* :class:`InferenceEngine` (:mod:`repro.inference.engine`) -- the
+  prediction fast path: run the network only on unseen representatives
+  (in sorted-by-length trimmed chunks) and scatter probabilities back
+  with ``np.take``, bit-for-bit identical to the naive path.
+"""
+
+from repro.inference.cache import PredictionCache
+from repro.inference.engine import InferenceEngine, InferenceStats
+from repro.inference.index import DedupIndex, build_dedup_index
+
+__all__ = [
+    "DedupIndex",
+    "build_dedup_index",
+    "InferenceEngine",
+    "InferenceStats",
+    "PredictionCache",
+]

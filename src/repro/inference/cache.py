@@ -1,0 +1,129 @@
+"""Cross-call LRU cache of per-cell prediction probabilities.
+
+Serving traffic re-scores the same cells over and over (the evaluation
+loop, the experiment matrix, batch-scoring CSVs against a saved model),
+and a cell's probabilities depend only on its encoded inputs and the
+model weights.  :class:`PredictionCache` therefore keys entries by
+``(weights version, feature-row bytes)`` -- the feature bytes cover the
+attribute id, the encoded value and the normalised length -- and is
+explicitly flushed whenever the weights version moves (every optimizer
+step and every checkpoint restore bumps it; see
+:meth:`repro.nn.module.Module.mark_weights_updated`), so a hit is always
+bit-identical to re-running the network.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Key of one cached cell: (weights version, feature-row bytes).
+CacheKey = tuple[int, bytes]
+
+
+class PredictionCache:
+    """Bounded LRU of ``feature row -> probabilities`` with hit counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached cells; least-recently-used entries are
+        evicted beyond it.
+
+    Attributes
+    ----------
+    hits, misses:
+        Cumulative lookup counters (never reset by invalidation).
+    invalidations:
+        How many times the cache was flushed (weight updates, restores,
+        explicit :meth:`invalidate` calls).
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
+        self._version: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def version(self) -> int | None:
+        """The weights version the current entries were computed under."""
+        return self._version
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting LRU entries if now over it."""
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def sync_version(self, version: int) -> None:
+        """Flush every entry computed under a different weights version.
+
+        Called by the inference engine before each prediction; a version
+        bump (optimizer step, checkpoint restore, ``load_state_dict``)
+        therefore invalidates the whole cache exactly once.
+        """
+        if self._version != version:
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
+            self._version = version
+
+    def invalidate(self) -> None:
+        """Explicitly drop every entry (counters are preserved)."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+        self._version = None
+
+    def get(self, key_bytes: bytes) -> np.ndarray | None:
+        """Probabilities for a feature row, or ``None``; counts hit/miss."""
+        key = (self._version, key_bytes)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key_bytes: bytes, probabilities: np.ndarray) -> None:
+        """Insert (a copy of) one row's probabilities, evicting LRU."""
+        key = (self._version, key_bytes)
+        self._entries[key] = np.array(probabilities, copy=True)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Machine-readable counter snapshot for benchmark records."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (f"PredictionCache(size={len(self)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,290 @@
+"""The dedup-memoized prediction fast path.
+
+:class:`InferenceEngine` computes class probabilities for a batch of
+encoded cells by (1) grouping duplicate rows with a
+:class:`~repro.inference.index.DedupIndex`, (2) serving previously seen
+representatives from the :class:`~repro.inference.cache.PredictionCache`,
+(3) running the network only on the remaining unseen representatives --
+in sorted-by-length trimmed chunks, reusing the dedup index's memoised
+length order -- and (4) scattering per-representative probabilities back
+to every row with ``np.take``.  Every step is value-preserving, so the
+result is bit-for-bit identical to the naive chunked forward.
+
+Scratch buffers (the per-feature chunk gathers and the per-representative
+"un-permutation" probability buffer) live on the engine and are reused
+across calls, so steady-state serving performs no per-call hot-array
+allocation beyond the returned output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.errors import ConfigurationError
+from repro.inference.cache import PredictionCache
+from repro.inference.index import DedupIndex, build_dedup_index
+
+#: Feature keys with a (batch, time) layout whose padded tails may be
+#: trimmed to the chunk maximum (mirrors repro.nn.training.SEQUENCE_KEYS).
+TRIM_KEYS = ("values",)
+
+
+def pad_single_row(chunk: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Duplicate-pad a one-row feature chunk to two rows.
+
+    BLAS dispatches a ``(1, k) @ (k, n)`` product to a vector kernel
+    whose accumulation order differs from the ``m >= 2`` matrix kernels,
+    so a row's forward bits would depend on how it happened to be
+    batched.  Every inference path therefore evaluates at least two rows
+    (the duplicated row's output is discarded), which keeps per-row
+    outputs independent of batch composition -- the invariant the dedup
+    fast path's bit-for-bit guarantee rests on.
+    """
+    return {name: np.concatenate([part, part], axis=0)
+            for name, part in chunk.items()}
+
+
+@dataclass(frozen=True)
+class InferenceStats:
+    """Observability counters for one (or an accumulation of) call(s)."""
+
+    n_rows: int = 0
+    n_unique: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    n_evaluated: int = 0
+
+    @property
+    def unique_ratio(self) -> float:
+        """Unique cells per row (1.0 means no duplicate savings)."""
+        return self.n_unique / self.n_rows if self.n_rows else 1.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per representative lookup (0.0 without a cache)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def merged(self, other: "InferenceStats") -> "InferenceStats":
+        """Counter-wise sum (for accumulating totals across calls)."""
+        return InferenceStats(
+            n_rows=self.n_rows + other.n_rows,
+            n_unique=self.n_unique + other.n_unique,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            n_evaluated=self.n_evaluated + other.n_evaluated,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat record for run results and benchmark JSON."""
+        return {
+            "n_rows": self.n_rows,
+            "n_unique": self.n_unique,
+            "unique_ratio": round(self.unique_ratio, 4),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "n_evaluated": self.n_evaluated,
+        }
+
+
+def _validate_rows(features: Mapping[str, np.ndarray]) -> int:
+    if not features:
+        raise ConfigurationError("at least one feature array is required")
+    counts = {name: int(arr.shape[0]) for name, arr in features.items()}
+    if len(set(counts.values())) > 1:
+        raise ConfigurationError(
+            f"feature arrays disagree on the number of rows: {counts}"
+        )
+    n = next(iter(counts.values()))
+    if n == 0:
+        raise ConfigurationError("feature set is empty")
+    return n
+
+
+def _row_key_bytes(features: Mapping[str, np.ndarray],
+                   rows: np.ndarray) -> list[bytes]:
+    """Cache-key bytes of each selected row, over *all* feature arrays.
+
+    Uses the same byte layout as :func:`build_dedup_index` (features in
+    sorted name order), so a key equals a key iff the model inputs are
+    byte-identical.
+    """
+    parts = []
+    k = rows.shape[0]
+    for name in sorted(features):
+        arr = np.ascontiguousarray(np.take(features[name], rows, axis=0))
+        parts.append(arr.reshape(k, -1).view(np.uint8).reshape(k, -1))
+    keys = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+    keys = np.ascontiguousarray(keys)
+    return [keys[i].tobytes() for i in range(k)]
+
+
+class InferenceEngine:
+    """Dedup + cache prediction engine around one model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.module.Module` mapping a feature dict to
+        ``(batch, n_classes)`` probabilities.  Its ``weights_version``
+        drives cache invalidation.
+    cache:
+        Optional cross-call :class:`PredictionCache`.  ``None`` disables
+        memoisation across calls (deduplication within a call still
+        applies).
+    batch_size:
+        Representative chunk size for the network forward.
+    trim_keys:
+        Feature keys whose padded time axis is trimmed per chunk.
+    """
+
+    def __init__(self, model, cache: PredictionCache | None = None,
+                 batch_size: int = 256,
+                 trim_keys: tuple[str, ...] = TRIM_KEYS):
+        self.model = model
+        self.cache = cache
+        self.batch_size = batch_size
+        self.trim_keys = trim_keys
+        self.last_stats = InferenceStats()
+        self.total_stats = InferenceStats()
+        self._gather_buffers: dict[str, np.ndarray] = {}
+        self._rep_probs: np.ndarray | None = None
+
+    # -- scratch management -------------------------------------------------
+
+    def _gather(self, name: str, arr: np.ndarray,
+                rows: np.ndarray) -> np.ndarray:
+        """Gather ``arr[rows]`` into a reusable per-feature chunk buffer."""
+        full = (self.batch_size,) + arr.shape[1:]
+        buf = self._gather_buffers.get(name)
+        if buf is None or buf.shape != full or buf.dtype != arr.dtype:
+            buf = np.empty(full, dtype=arr.dtype)
+            self._gather_buffers[name] = buf
+        view = buf[:rows.shape[0]]
+        return np.take(arr, rows, axis=0, out=view)
+
+    def _representative_buffer(self, n_unique: int,
+                               n_classes: int, dtype) -> np.ndarray:
+        """The reusable un-permutation buffer ``(n_unique, n_classes)``.
+
+        Reused verbatim when the shape matches the previous call (the
+        steady-state serving case); only reallocated on shape changes.
+        """
+        buf = self._rep_probs
+        if buf is None or buf.shape != (n_unique, n_classes) \
+                or buf.dtype != dtype:
+            buf = np.empty((n_unique, n_classes), dtype=dtype)
+            self._rep_probs = buf
+        return buf
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict_proba(self, features: Mapping[str, np.ndarray],
+                      lengths: np.ndarray | None = None,
+                      dedup: DedupIndex | None = None) -> np.ndarray:
+        """Probabilities for every row, predicting once per unique cell.
+
+        Parameters
+        ----------
+        features:
+            Encoded feature dict (all arrays row-aligned).
+        lengths:
+            Optional per-row true sequence lengths; enables
+            sorted-by-length trimmed chunking over the representatives.
+        dedup:
+            Precomputed unique-cell index (e.g.
+            :attr:`~repro.dataprep.encoding.EncodedCells.dedup`); built
+            on the fly when omitted.
+        """
+        n = _validate_rows(features)
+        if dedup is None:
+            dedup = build_dedup_index(features)
+        elif dedup.n_rows != n:
+            raise ConfigurationError(
+                f"dedup index covers {dedup.n_rows} rows, features have {n}"
+            )
+        reps = dedup.representatives
+        n_unique = dedup.n_unique
+
+        hits = 0
+        cached_rows: list[tuple[int, np.ndarray]] = []
+        miss_positions: np.ndarray
+        if self.cache is not None:
+            self.cache.sync_version(getattr(self.model, "weights_version", 0))
+            keys = _row_key_bytes(features, reps)
+            misses = []
+            for position, key in enumerate(keys):
+                entry = self.cache.get(key)
+                if entry is None:
+                    misses.append(position)
+                else:
+                    cached_rows.append((position, entry))
+            hits = n_unique - len(misses)
+            miss_positions = np.asarray(misses, dtype=np.int64)
+        else:
+            keys = None
+            miss_positions = np.arange(n_unique, dtype=np.int64)
+
+        rep_probs: np.ndarray | None = None
+        if miss_positions.shape[0]:
+            # Evaluate unseen representatives cheapest-first: reuse the
+            # dedup index's memoised length order (no per-call argsort)
+            # and keep each chunk's padded tail trimmed.
+            if lengths is not None:
+                order = dedup.length_order(lengths)
+                todo = order[np.isin(order, miss_positions,
+                                     assume_unique=True)] \
+                    if hits else order
+            else:
+                todo = miss_positions
+            rows = reps[todo]
+            row_lengths = (None if lengths is None
+                           else np.asarray(lengths).reshape(-1)[rows])
+            with no_grad():
+                for start in range(0, rows.shape[0], self.batch_size):
+                    chunk_rows = rows[start:start + self.batch_size]
+                    chunk = {}
+                    for name, arr in features.items():
+                        part = self._gather(name, arr, chunk_rows)
+                        if row_lengths is not None and name in self.trim_keys \
+                                and part.ndim >= 2:
+                            width = max(int(
+                                row_lengths[start:start + self.batch_size]
+                                .max()), 1)
+                            if width < part.shape[1]:
+                                part = part[:, :width]
+                        chunk[name] = part
+                    if chunk_rows.shape[0] == 1:
+                        probs = self.model(pad_single_row(chunk)).numpy()[:1]
+                    else:
+                        probs = self.model(chunk).numpy()
+                    if rep_probs is None:
+                        rep_probs = self._representative_buffer(
+                            n_unique, probs.shape[1], probs.dtype)
+                    rep_probs[todo[start:start + self.batch_size]] = probs
+            if self.cache is not None and keys is not None:
+                for position in miss_positions:
+                    self.cache.put(keys[position], rep_probs[position])
+        if rep_probs is None:
+            # Every representative was served from the cache.
+            first = cached_rows[0][1]
+            rep_probs = self._representative_buffer(
+                n_unique, first.shape[0], first.dtype)
+        for position, entry in cached_rows:
+            rep_probs[position] = entry
+
+        self.last_stats = InferenceStats(
+            n_rows=n,
+            n_unique=n_unique,
+            cache_hits=hits,
+            cache_misses=int(miss_positions.shape[0]) if self.cache is not None
+            else 0,
+            n_evaluated=int(miss_positions.shape[0]),
+        )
+        self.total_stats = self.total_stats.merged(self.last_stats)
+        return dedup.scatter(rep_probs)

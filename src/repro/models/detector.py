@@ -21,6 +21,8 @@ from repro.dataprep import (
 )
 from repro.datasets.base import DatasetPair
 from repro.errors import ConfigurationError, NotFittedError
+from repro.inference import InferenceStats, PredictionCache
+from repro.inference.index import DedupIndex
 from repro.metrics import ClassificationReport
 from repro.models.config import ModelConfig, TrainingConfig
 from repro.models.etsb_rnn import ETSBRNN
@@ -83,12 +85,18 @@ class DetectionResult:
         Tuple id of each test cell.
     attribute_names:
         Attribute of each test cell.
+    inference:
+        Counters of the prediction pass that produced ``predictions``:
+        unique-cell ratio and cache hit/miss counts, so dedup/memoization
+        savings stay observable in evaluation output.  ``None`` when the
+        naive path was used.
     """
 
     report: ClassificationReport
     predictions: np.ndarray
     tuple_ids: np.ndarray
     attribute_names: tuple[str, ...]
+    inference: InferenceStats | None = None
 
     def errors(self) -> list[tuple[int, str]]:
         """The (tuple_id, attribute) pairs predicted to be erroneous."""
@@ -118,6 +126,13 @@ class ErrorDetector:
     extra_callbacks:
         Additional training callbacks (e.g. an
         :class:`~repro.nn.callbacks.EpochEvaluator` for learning curves).
+    deduplicate:
+        Run prediction through the dedup-memoized inference engine
+        (default).  Bit-for-bit identical to the naive path; disable only
+        to measure the naive baseline.
+    prediction_cache_size:
+        Capacity of the cross-call :class:`~repro.inference.PredictionCache`
+        shared by every prediction this detector serves.
     """
 
     def __init__(self, architecture: str = "etsb",
@@ -126,7 +141,9 @@ class ErrorDetector:
                  model_config: ModelConfig | None = None,
                  training_config: TrainingConfig | None = None,
                  seed: int = 0,
-                 extra_callbacks: Sequence[Callback] = ()):
+                 extra_callbacks: Sequence[Callback] = (),
+                 deduplicate: bool = True,
+                 prediction_cache_size: int = 65536):
         if architecture not in ARCHITECTURES:
             raise ConfigurationError(
                 f"architecture must be one of {ARCHITECTURES}, got {architecture!r}"
@@ -139,6 +156,8 @@ class ErrorDetector:
                                 else TrainingConfig())
         self.seed = seed
         self.extra_callbacks = tuple(extra_callbacks)
+        self.deduplicate = deduplicate
+        self.prediction_cache = PredictionCache(capacity=prediction_cache_size)
         self.model: Module | None = None
         self.prepared: PreparedData | None = None
         self.split: TrainTestSplit | None = None
@@ -236,6 +255,7 @@ class ErrorDetector:
             rng=rng,
             callbacks=(checkpoint, *self.extra_callbacks),
             batch_sampler=batch_sampler,
+            prediction_cache=self.prediction_cache,
         )
         batch_size = self.training_config.batch_size(split.train_size)
         # Publish state before fitting so that per-epoch callbacks (e.g.
@@ -259,7 +279,8 @@ class ErrorDetector:
         return self.model, self.prepared, self.split, self.trainer
 
     def predict(self, features: dict[str, np.ndarray],
-                lengths: np.ndarray | None = None) -> np.ndarray:
+                lengths: np.ndarray | None = None,
+                dedup: DedupIndex | None = None) -> np.ndarray:
         """Binary error predictions for encoded features.
 
         Works on freshly fitted detectors and on detectors restored via
@@ -267,18 +288,36 @@ class ErrorDetector:
         train/test split).  ``lengths`` (true per-row sequence lengths,
         e.g. :attr:`~repro.dataprep.encoding.EncodedCells.lengths`)
         enables sorted-by-length inference chunking: cheaper on skewed
-        data, identical predictions.
+        data, identical predictions.  By default the dedup-memoized
+        engine runs -- the network scores each unique cell once, the
+        cross-call cache serves cells seen before -- with ``dedup``
+        optionally supplying the precomputed unique-cell index.
         """
         if self.trainer is None:
             raise NotFittedError("fit() has not been called")
-        probabilities = self.trainer.predict_proba(features, lengths=lengths)
+        probabilities = self.trainer.predict_proba(
+            features, lengths=lengths, dedup=dedup,
+            deduplicate=self.deduplicate)
         return probabilities.argmax(axis=1).astype(np.int64)
 
+    @property
+    def inference_stats(self) -> InferenceStats | None:
+        """Counters of the most recent dedup prediction (``None`` if naive)."""
+        if self.trainer is None or not self.deduplicate:
+            return None
+        return self.trainer.inference_stats
+
     def evaluate(self) -> DetectionResult:
-        """Evaluate the fitted model on the held-out test cells."""
+        """Evaluate the fitted model on the held-out test cells.
+
+        The returned :class:`DetectionResult` carries the prediction
+        pass's :class:`~repro.inference.InferenceStats` (unique-cell
+        ratio, cache hits/misses) so dedup savings stay observable.
+        """
         _, __, split, ___ = self._require_fitted()
         predictions = self.predict(split.test.features,
-                                   lengths=split.test.lengths)
+                                   lengths=split.test.lengths,
+                                   dedup=split.test.dedup)
         report = ClassificationReport.from_predictions(split.test.labels,
                                                        predictions)
         return DetectionResult(
@@ -286,6 +325,7 @@ class ErrorDetector:
             predictions=predictions,
             tuple_ids=split.test.tuple_ids,
             attribute_names=split.test.attribute_names,
+            inference=self.inference_stats,
         )
 
     def predict_table(self) -> list[tuple[int, str]]:
@@ -294,7 +334,9 @@ class ErrorDetector:
         _, prepared, __, trainer = self._require_fitted()
         encoded = encode_cells(prepared)
         probabilities = trainer.predict_proba(encoded.features,
-                                              lengths=encoded.lengths)
+                                              lengths=encoded.lengths,
+                                              dedup=encoded.dedup,
+                                              deduplicate=self.deduplicate)
         predictions = probabilities.argmax(axis=1)
         return [
             (int(tid), attr)

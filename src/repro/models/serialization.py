@@ -100,6 +100,8 @@ def load_detector(path: str | Path) -> ErrorDetector:
     )
     rng = np.random.default_rng(meta["seed"])
     model = build_model(meta["architecture"], prepared, config, rng)
+    # load_state_dict bumps the model's weights version, so a prediction
+    # cache can never serve entries computed under the fresh-init weights.
     model.load_state_dict(state)
     model.eval()
 
@@ -109,7 +111,8 @@ def load_detector(path: str | Path) -> ErrorDetector:
     from repro.models.detector import _loss
     detector.trainer = Trainer(model=model,
                                optimizer=RMSprop(model.parameters()),
-                               loss_fn=_loss)
+                               loss_fn=_loss,
+                               prediction_cache=detector.prediction_cache)
     return detector
 
 

@@ -100,13 +100,24 @@ class BestWeightsCheckpoint(Callback):
 
     def on_train_end(self, model: Module) -> None:
         if self.restore_on_end and self._best_state is not None:
-            model.load_state_dict(self._best_state)
+            self._restore_state(model)
 
     def restore(self, model: Module) -> None:
         """Explicitly restore the best snapshot into ``model``."""
         if self._best_state is None:
             raise ConfigurationError("no snapshot recorded yet")
+        self._restore_state(model)
+
+    def _restore_state(self, model: Module) -> None:
+        """Swap in the snapshot and bump the model's weights version.
+
+        ``load_state_dict`` already bumps, but the restore path bumps
+        explicitly as well: a checkpoint restore must never be able to
+        serve stale :class:`~repro.inference.cache.PredictionCache`
+        entries, even if the state-dict plumbing changes.
+        """
         model.load_state_dict(self._best_state)
+        model.mark_weights_updated()
 
 
 class EarlyStopping(Callback):

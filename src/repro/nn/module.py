@@ -36,6 +36,25 @@ class Module:
     def __init__(self) -> None:
         self._training = True
         self._buffers: dict[str, np.ndarray] = {}
+        self._weights_version = 0
+
+    # -- weight versioning ----------------------------------------------------
+
+    @property
+    def weights_version(self) -> int:
+        """Monotonic counter identifying the current weight values.
+
+        Bumped on every mutation of the parameters: the training loop
+        bumps it after each optimizer step, and :meth:`load_state_dict`
+        (hence checkpoint restores and detector loading) bumps it
+        automatically.  Prediction caches key their entries by it, so a
+        stale entry can never be served after the weights move.
+        """
+        return getattr(self, "_weights_version", 0)
+
+    def mark_weights_updated(self) -> None:
+        """Record that the parameters changed (invalidates caches)."""
+        self._weights_version = self.weights_version + 1
 
     # -- forward ------------------------------------------------------------
 
@@ -159,6 +178,7 @@ class Module:
                 )
             param.data = value.copy()
         self._load_buffers(state)
+        self.mark_weights_updated()
 
     def _load_buffers(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
         for name in list(self._buffers):

@@ -24,6 +24,9 @@ import numpy as np
 
 from repro.autograd import Tensor, no_grad
 from repro.errors import ConfigurationError
+from repro.inference import InferenceEngine, InferenceStats, PredictionCache
+from repro.inference.engine import pad_single_row
+from repro.inference.index import DedupIndex
 from repro.nn.callbacks import Callback, History
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer, clip_gradients
@@ -257,6 +260,12 @@ class Trainer:
         Optional :class:`BucketBatchSampler`; used by :meth:`fit` when
         per-example ``lengths`` are supplied, making each training step's
         cost proportional to real characters instead of padding.
+    prediction_cache:
+        Optional cross-call :class:`~repro.inference.PredictionCache`
+        used by :meth:`predict_proba`'s dedup fast path.  Entries are
+        invalidated automatically whenever the weights move: the trainer
+        bumps the model's ``weights_version`` after every optimizer step,
+        and checkpoint restores bump it through ``load_state_dict``.
     """
 
     model: Module
@@ -266,11 +275,13 @@ class Trainer:
     rng: np.random.Generator | None = None
     callbacks: Sequence[Callback] = field(default_factory=tuple)
     batch_sampler: BucketBatchSampler | None = None
+    prediction_cache: PredictionCache | None = None
     history: History = field(init=False)
 
     def __post_init__(self) -> None:
         self.history = History()
         self._all_callbacks: list[Callback] = list(self.callbacks) + [self.history]
+        self._engine = InferenceEngine(self.model, cache=self.prediction_cache)
 
     def fit(self, features: Features, labels: np.ndarray, epochs: int,
             batch_size: int, lengths: np.ndarray | None = None) -> History:
@@ -310,6 +321,9 @@ class Trainer:
                 if self.max_grad_norm is not None:
                     clip_gradients(self.model.parameters(), self.max_grad_norm)
                 self.optimizer.step()
+                # The weights moved: bump the version so any prediction
+                # cache keyed on it drops its now-stale entries.
+                self.model.mark_weights_updated()
                 epoch_loss += loss.item() * batch.size
                 examples += batch.size
             logs = {"loss": epoch_loss / examples}
@@ -322,16 +336,44 @@ class Trainer:
         return self.history
 
     def predict_proba(self, features: Features, batch_size: int = 256,
-                      lengths: np.ndarray | None = None) -> np.ndarray:
-        """Class probabilities in eval mode, without recording gradients."""
+                      lengths: np.ndarray | None = None,
+                      dedup: DedupIndex | None = None,
+                      deduplicate: bool = True) -> np.ndarray:
+        """Class probabilities in eval mode, without recording gradients.
+
+        With ``deduplicate=True`` (the default) the dedup-memoized fast
+        path runs: the network only sees one representative per group of
+        byte-identical feature rows (and, with a :attr:`prediction_cache`,
+        only representatives it has never scored under the current
+        weights), and probabilities are scattered back with ``np.take``.
+        The result is bit-for-bit identical to the naive chunked forward.
+        ``dedup`` supplies a precomputed unique-cell index (e.g.
+        :attr:`~repro.dataprep.encoding.EncodedCells.dedup`).
+        """
         self.model.eval()
+        if deduplicate:
+            self._engine.batch_size = batch_size
+            return self._engine.predict_proba(features, lengths=lengths,
+                                              dedup=dedup)
         return predict_proba(self.model, features, batch_size=batch_size,
-                             lengths=lengths)
+                             lengths=lengths, deduplicate=False)
+
+    @property
+    def inference_stats(self) -> InferenceStats:
+        """Counters of the most recent dedup prediction call."""
+        return self._engine.last_stats
+
+    @property
+    def total_inference_stats(self) -> InferenceStats:
+        """Accumulated counters over every dedup prediction call."""
+        return self._engine.total_stats
 
 
 def predict_proba(model: Module, features: Features,
                   batch_size: int = 256,
-                  lengths: np.ndarray | None = None) -> np.ndarray:
+                  lengths: np.ndarray | None = None,
+                  dedup: DedupIndex | None = None,
+                  deduplicate: bool = False) -> np.ndarray:
     """Run ``model`` over ``features`` in chunks; returns ``(n, n_classes)``.
 
     The output array is preallocated once and filled chunk by chunk, so
@@ -341,7 +383,18 @@ def predict_proba(model: Module, features: Features,
     trimmed to the chunk maximum (padding steps carry state unchanged, so
     per-example outputs are bit-for-bit identical), and results are
     un-permuted back to input order.
+
+    ``deduplicate=True`` switches to the dedup-memoized fast path: the
+    model runs once per group of byte-identical feature rows (``dedup``
+    optionally supplies the precomputed unique-cell index) and outputs
+    are scattered back, bit-for-bit identical to the naive path.  The
+    default stays ``False`` here -- this function is the naive reference;
+    :meth:`Trainer.predict_proba` (the serving path) defaults to the
+    fast path and adds cross-call caching.
     """
+    if deduplicate:
+        engine = InferenceEngine(model, cache=None, batch_size=batch_size)
+        return engine.predict_proba(features, lengths=lengths, dedup=dedup)
     n = _validate_features(features)
     out: np.ndarray | None = None
     if lengths is None:
@@ -349,7 +402,7 @@ def predict_proba(model: Module, features: Features,
             for start in range(0, n, batch_size):
                 chunk = {name: arr[start:start + batch_size]
                          for name, arr in features.items()}
-                probs = model(chunk).numpy()
+                probs = _forward_chunk(model, chunk)
                 if out is None:
                     out = np.empty((n, probs.shape[1]), dtype=probs.dtype)
                 out[start:start + batch_size] = probs
@@ -372,8 +425,24 @@ def predict_proba(model: Module, features: Features,
                         and width < part.shape[1]):
                     part = part[:, :width]
                 chunk[name] = part
-            probs = model(chunk).numpy()
+            probs = _forward_chunk(model, chunk)
             if out is None:
                 out = np.empty((n, probs.shape[1]), dtype=probs.dtype)
             out[index] = probs
     return out
+
+
+def _forward_chunk(model: Module, chunk: Features) -> np.ndarray:
+    """One inference forward whose per-row bits don't depend on batching.
+
+    Single-row chunks are duplicate-padded to two rows (see
+    :func:`repro.inference.engine.pad_single_row`): BLAS rounds the
+    one-row matmul differently from every ``m >= 2`` case, which would
+    break the bit-for-bit contract between this naive reference path and
+    the dedup-memoized engine whenever their chunkings leave a
+    different-sized remainder.
+    """
+    n = next(iter(chunk.values())).shape[0]
+    if n == 1:
+        return model(pad_single_row(chunk)).numpy()[:1]
+    return model(chunk).numpy()

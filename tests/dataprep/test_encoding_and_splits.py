@@ -68,6 +68,48 @@ class TestEncodeCells:
         sub = encoded.subset(np.array([1, 3]))
         np.testing.assert_array_equal(sub.lengths, encoded.lengths[[1, 3]])
 
+    def test_subset_is_python_loop_free(self, prepared):
+        """Micro-assertion: subset never iterates the indices in Python.
+
+        The index array refuses Python-level iteration, so any per-row
+        comprehension over it (the pre-vectorisation implementation)
+        fails immediately; numpy gathers go through the buffer instead.
+        """
+
+        class NoPythonIter(np.ndarray):
+            def __iter__(self):
+                raise AssertionError(
+                    "subset iterated its indices in a Python loop")
+
+        encoded = encode_cells(prepared)
+        indices = np.array([0, 2, 3]).view(NoPythonIter)
+        sub = encoded.subset(indices)
+        assert sub.n_cells == 3
+        assert sub.attribute_names == tuple(encoded.attribute_names[i]
+                                            for i in (0, 2, 3))
+
+    def test_subset_attribute_names_stay_strings(self, prepared):
+        encoded = encode_cells(prepared)
+        sub = encoded.subset(np.array([1, 2]))
+        assert all(isinstance(name, str) for name in sub.attribute_names)
+
+    def test_encode_cells_builds_dedup_index(self, prepared):
+        encoded = encode_cells(prepared)
+        assert encoded.dedup is not None
+        assert encoded.dedup.n_rows == encoded.n_cells
+        # scattering representative rows reconstructs every feature array
+        for arr in encoded.features.values():
+            np.testing.assert_array_equal(
+                encoded.dedup.scatter(arr[encoded.dedup.representatives]),
+                arr)
+
+    def test_subset_renumbers_dedup(self, prepared):
+        encoded = encode_cells(prepared)
+        sub = encoded.subset(np.array([0, 1, 3]))
+        assert sub.dedup is not None
+        assert sub.dedup.n_rows == 3
+        assert sub.dedup.n_unique <= 3
+
     def test_missing_column_rejected(self, prepared):
         broken = prepared.df.drop(["label"])
         with pytest.raises(DataError):

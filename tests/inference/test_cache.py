@@ -1,0 +1,104 @@
+"""Tests for the cross-call prediction cache (LRU + invalidation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inference import PredictionCache
+
+
+def _probs(x):
+    return np.array([x, 1 - x])
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = PredictionCache(capacity=4)
+        cache.sync_version(1)
+        assert cache.get(b"a") is None
+        cache.put(b"a", _probs(0.3))
+        np.testing.assert_array_equal(cache.get(b"a"), _probs(0.3))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_put_copies(self):
+        cache = PredictionCache()
+        cache.sync_version(0)
+        probs = _probs(0.5)
+        cache.put(b"a", probs)
+        probs[:] = 0.0
+        np.testing.assert_array_equal(cache.get(b"a"), _probs(0.5))
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = PredictionCache(capacity=2)
+        cache.sync_version(0)
+        cache.put(b"a", _probs(0.1))
+        cache.put(b"b", _probs(0.2))
+        cache.get(b"a")          # refresh a; b is now LRU
+        cache.put(b"c", _probs(0.3))
+        assert cache.get(b"a") is not None
+        assert cache.get(b"b") is None
+        assert cache.get(b"c") is not None
+        assert len(cache) == 2
+
+    def test_resize_evicts(self):
+        cache = PredictionCache(capacity=4)
+        cache.sync_version(0)
+        for i in range(4):
+            cache.put(bytes([i]), _probs(0.1))
+        cache.resize(2)
+        assert len(cache) == 2
+        assert cache.get(bytes([3])) is not None  # most recent survives
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictionCache(capacity=0)
+        with pytest.raises(ConfigurationError):
+            PredictionCache().resize(0)
+
+
+class TestInvalidation:
+    def test_sync_version_flushes_on_change(self):
+        cache = PredictionCache()
+        cache.sync_version(1)
+        cache.put(b"a", _probs(0.4))
+        cache.sync_version(2)
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.get(b"a") is None
+
+    def test_sync_same_version_keeps_entries(self):
+        cache = PredictionCache()
+        cache.sync_version(1)
+        cache.put(b"a", _probs(0.4))
+        cache.sync_version(1)
+        assert len(cache) == 1
+        assert cache.invalidations == 0
+
+    def test_explicit_invalidate(self):
+        cache = PredictionCache()
+        cache.sync_version(1)
+        cache.put(b"a", _probs(0.4))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.version is None
+        assert cache.invalidations == 1
+
+    def test_counters_survive_invalidation(self):
+        cache = PredictionCache()
+        cache.sync_version(1)
+        cache.put(b"a", _probs(0.4))
+        cache.get(b"a")
+        cache.invalidate()
+        assert cache.hits == 1
+
+    def test_stats_snapshot(self):
+        cache = PredictionCache(capacity=8)
+        cache.sync_version(1)
+        cache.get(b"a")
+        cache.put(b"a", _probs(0.4))
+        cache.get(b"a")
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5

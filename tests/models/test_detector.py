@@ -142,3 +142,36 @@ class TestLearning:
         detector.fit(pair)
         report = detector.evaluate().report
         assert report.f1 > 0.5
+
+
+class TestDedupInference:
+    def test_evaluate_reports_inference_stats(self, fitted):
+        result = fitted.evaluate()
+        stats = result.inference
+        assert stats is not None
+        assert stats.n_rows == fitted.split.test_size
+        assert 0 < stats.n_unique <= stats.n_rows
+        assert stats.unique_ratio == stats.n_unique / stats.n_rows
+
+    def test_repeated_evaluate_is_served_from_cache(self, fitted):
+        first = fitted.evaluate()
+        second = fitted.evaluate()
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+        assert second.inference.cache_hits == second.inference.n_unique
+        assert second.inference.n_evaluated == 0
+
+    def test_dedup_matches_naive_path(self, fitted):
+        memoized = fitted.evaluate()
+        fitted.deduplicate = False
+        try:
+            naive = fitted.evaluate()
+        finally:
+            fitted.deduplicate = True
+        np.testing.assert_array_equal(memoized.predictions, naive.predictions)
+        assert naive.inference is None
+
+    def test_cache_entries_keyed_to_current_weights(self, fitted):
+        fitted.evaluate()
+        assert len(fitted.prediction_cache) > 0
+        version = fitted.model.weights_version
+        assert fitted.prediction_cache.version == version

@@ -118,3 +118,92 @@ class TestPredictCommand:
         other.write_text("unrelated\nvalue\n")
         assert main(["predict", "--model", str(model_path),
                      "--dirty", str(other)]) == 1
+
+
+class TestServingFlags:
+    def test_predict_serving_flags(self):
+        args = build_parser().parse_args([
+            "predict", "--model", "m.npz", "--dirty", "d.csv",
+            "--no-dedup", "--cache-size", "128"])
+        assert args.no_dedup is True
+        assert args.cache_size == 128
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args([
+            "serve", "--model", "m.npz", "a.csv", "b.csv"])
+        assert args.inputs == ["a.csv", "b.csv"]
+        assert args.no_dedup is False
+        assert args.cache_size is None
+
+    def test_serve_requires_inputs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "m.npz"])
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def model_path(self, csv_pair, tmp_path):
+        dirty, clean = csv_pair
+        path = tmp_path / "model.npz"
+        main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+              "--epochs", "2", "--tuples", "6", "--save", str(path),
+              "--out", str(tmp_path / "ignored.csv")])
+        return path
+
+    def test_serve_scores_many_files(self, csv_pair, model_path, tmp_path,
+                                     capsys):
+        dirty, _ = csv_pair
+        out_dir = tmp_path / "scored"
+        code = main(["serve", "--model", str(model_path),
+                     str(dirty), str(dirty), "--out-dir", str(out_dir)])
+        assert code == 0
+        outputs = sorted(out_dir.glob("*.errors.csv"))
+        assert [p.name for p in outputs] == ["dirty.errors.csv"]
+        err = capsys.readouterr().err
+        assert "cache hit rate" in err
+        # the second pass over the same file is served from cache
+        assert "cache hits" in err
+
+    def test_serve_cache_persists_across_files(self, csv_pair, model_path,
+                                               tmp_path):
+        dirty, _ = csv_pair
+        from repro.models.serialization import load_detector
+        detector = load_detector(model_path)
+        from repro.cli import _score_csv
+        first = _score_csv(detector, read_csv(dirty))
+        stats_first = detector.inference_stats
+        second = _score_csv(detector, read_csv(dirty))
+        stats_second = detector.inference_stats
+        assert stats_first.cache_misses == stats_first.n_unique
+        assert stats_second.cache_hits == stats_second.n_unique
+        assert stats_second.n_evaluated == 0
+        np.testing.assert_array_equal(
+            np.array(first.column("row").values),
+            np.array(second.column("row").values))
+
+    def test_serve_all_files_unmatched_fails(self, model_path, tmp_path):
+        other = tmp_path / "other.csv"
+        other.write_text("unrelated\nvalue\n")
+        assert main(["serve", "--model", str(model_path), str(other)]) == 1
+
+    def test_serve_mixed_files_succeeds(self, csv_pair, model_path, tmp_path,
+                                        capsys):
+        dirty, _ = csv_pair
+        other = tmp_path / "other.csv"
+        other.write_text("unrelated\nvalue\n")
+        code = main(["serve", "--model", str(model_path),
+                     str(other), str(dirty),
+                     "--out-dir", str(tmp_path / "scored")])
+        assert code == 0
+        assert "served 1/2 files" in capsys.readouterr().err
+
+    def test_predict_no_dedup_matches(self, csv_pair, model_path, tmp_path):
+        dirty, _ = csv_pair
+        fast = tmp_path / "fast.csv"
+        naive = tmp_path / "naive.csv"
+        assert main(["predict", "--model", str(model_path),
+                     "--dirty", str(dirty), "--out", str(fast)]) == 0
+        assert main(["predict", "--model", str(model_path),
+                     "--dirty", str(dirty), "--out", str(naive),
+                     "--no-dedup"]) == 0
+        assert fast.read_text() == naive.read_text()
