@@ -1,12 +1,17 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-smoke bench-bucketing bench-dedup bench-full report examples clean
+.PHONY: install test test-equivalence bench bench-smoke bench-bucketing bench-dedup bench-full report examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Bit-for-bit equivalence properties only (fused vs graph backends,
+# dedup-memoized vs naive inference) -- the tier-1 correctness core.
+test-equivalence:
+	pytest tests/ -m equivalence -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -14,6 +14,12 @@ The subcommands mirror the library's main workflows::
 ``serve`` score through the dedup-memoized inference engine (disable
 with ``--no-dedup``; size the cross-call cache with ``--cache-size``);
 ``serve`` keeps the prediction cache warm across input files.
+
+Every workload subcommand accepts ``--telemetry-out out.jsonl``, which
+enables the instrumentation layer for the duration of the command and
+streams structured records (epochs, spans, inference counters, plus a
+final metrics snapshot) to the given JSON-lines file; inspect one with
+``repro telemetry summarize out.jsonl``.
 """
 
 from __future__ import annotations
@@ -21,9 +27,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from contextlib import contextmanager
+
 import numpy as np
 
+from repro import telemetry
 from repro.datasets import DATASET_NAMES, load
+from repro.errors import ConfigurationError
 from repro.experiments import render_table2, run_experiment
 from repro.models import ErrorDetector, ModelConfig, TrainingConfig
 from repro.models.serialization import load_detector, save_detector
@@ -33,6 +43,41 @@ from repro.repair import (
     RepairPipeline,
 )
 from repro.table import Table, read_csv, write_csv
+
+
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry-out", metavar="JSONL", default=None,
+                        help="enable instrumentation for this command and "
+                             "stream records to the given JSON-lines file "
+                             "(summarize with 'repro telemetry summarize')")
+
+
+@contextmanager
+def _telemetry_session(args):
+    """Run one command under a fresh registry streaming to ``--telemetry-out``.
+
+    A no-op when the flag is absent.  Installs a fresh
+    :class:`~repro.telemetry.MetricsRegistry` (so repeated ``main()``
+    calls in one process never accumulate) with a JSON-lines sink, turns
+    telemetry on for the duration, and closes with a final
+    ``{"type": "snapshot"}`` record carrying the full metrics state.
+    """
+    path = getattr(args, "telemetry_out", None)
+    if not path:
+        yield
+        return
+    registry = telemetry.MetricsRegistry()
+    sink = telemetry.JsonlSink(path)
+    registry.add_sink(sink)
+    with telemetry.use_telemetry(registry):
+        try:
+            yield
+        finally:
+            registry.emit({"type": "snapshot",
+                           "metrics": registry.snapshot()})
+            sink.close()
+            print(f"telemetry: {sink.n_records} records written to {path}",
+                  file=sys.stderr)
 
 
 def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
@@ -257,6 +302,16 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_telemetry_summarize(args) -> int:
+    try:
+        text = telemetry.summarize_jsonl(args.path)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(text)
+    return 0
+
+
 def cmd_benchmark(args) -> int:
     pair = load(args.dataset, n_rows=args.rows, seed=args.seed)
     print(f"{args.dataset}: {pair.dirty.shape}, "
@@ -295,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--out", help="write flagged cells to this CSV")
     p_detect.add_argument("--save", help="save the fitted model (.npz)")
     _add_training_flags(p_detect)
+    _add_telemetry_flag(p_detect)
     p_detect.set_defaults(fn=cmd_detect)
 
     p_repair = sub.add_parser("repair",
@@ -304,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--out", required=True,
                           help="write the repaired table here")
     _add_training_flags(p_repair)
+    _add_telemetry_flag(p_repair)
     p_repair.set_defaults(fn=cmd_repair)
 
     p_predict = sub.add_parser(
@@ -313,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--dirty", required=True)
     p_predict.add_argument("--out", help="write flagged cells to this CSV")
     _add_serving_flags(p_predict)
+    _add_telemetry_flag(p_predict)
     p_predict.set_defaults(fn=cmd_predict)
 
     p_serve = sub.add_parser(
@@ -326,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--out-dir",
                          help="write one <name>.errors.csv per input here")
     _add_serving_flags(p_serve)
+    _add_telemetry_flag(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     p_analyze = sub.add_parser(
@@ -344,7 +403,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan runs out over this many worker processes "
                               "(default: serial; results are identical)")
     _add_training_flags(p_bench)
+    _add_telemetry_flag(p_bench)
     p_bench.set_defaults(fn=cmd_benchmark)
+
+    p_tele = sub.add_parser(
+        "telemetry", help="inspect telemetry JSON-lines files")
+    tele_sub = p_tele.add_subparsers(dest="telemetry_command", required=True)
+    p_summarize = tele_sub.add_parser(
+        "summarize", help="aggregate a --telemetry-out JSON-lines file")
+    p_summarize.add_argument("path",
+                             help="file written by --telemetry-out")
+    p_summarize.set_defaults(fn=cmd_telemetry_summarize)
 
     return parser
 
@@ -352,7 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    with _telemetry_session(args):
+        return args.fn(args)
 
 
 if __name__ == "__main__":

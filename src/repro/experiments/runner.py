@@ -18,10 +18,11 @@ import time
 
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.baselines.raha import RahaDetector
 
 from repro.datasets.base import DatasetPair
@@ -42,6 +43,12 @@ class RunResult:
     prediction pass (the dedup-memoized inference engine): how many test
     cells were duplicates and how many were served from the prediction
     cache, keeping inference speedups observable run by run.
+
+    ``telemetry`` is the run's full metrics snapshot (the
+    :meth:`repro.telemetry.MetricsRegistry.snapshot` format) when
+    telemetry was enabled during execution, else ``None``.  The snapshot
+    pickles cleanly, so worker-process runs carry their metrics back to
+    the parent for merging.
     """
 
     seed: int
@@ -53,6 +60,7 @@ class RunResult:
     unique_cell_ratio: float | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    telemetry: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -99,6 +107,18 @@ class ExperimentResult:
         return (sum(run.cache_hits for run in self.runs),
                 sum(run.cache_misses for run in self.runs))
 
+    @property
+    def merged_telemetry(self) -> dict | None:
+        """All runs' telemetry snapshots merged (``None`` if none carry one).
+
+        Counters, histograms and timers add across runs; gauges keep the
+        last run's value.  Identical whether the runs executed serially
+        or on a process pool.
+        """
+        snapshots = [run.telemetry for run in self.runs
+                     if run.telemetry is not None]
+        return telemetry.merge_snapshots(snapshots) if snapshots else None
+
     def as_row(self) -> dict[str, float]:
         """Flat dict used by the table renderers."""
         return {
@@ -120,8 +140,35 @@ def _execute_run(pair: DatasetPair, architecture: str,
     A module-level function so a :class:`ProcessPoolExecutor` can pickle
     it; seeding depends only on the arguments, never on which process
     executes the task, so serial and parallel schedules produce the same
-    :class:`RunResult` (up to ``train_seconds``).
+    :class:`RunResult` (up to ``train_seconds`` and telemetry timings).
+
+    When telemetry is enabled the run executes under a task-local
+    :class:`~repro.telemetry.MetricsRegistry` whose snapshot is attached
+    to the result -- worker processes never share sinks or metric
+    objects, so records can't interleave; the parent merges snapshots.
     """
+    if telemetry.enabled():
+        registry = telemetry.MetricsRegistry()
+        capture = telemetry.MemorySink()
+        registry.add_sink(capture)
+        with telemetry.use_registry(registry):
+            result = _execute_run_body(
+                pair, architecture, sampler, n_label_tuples, model_config,
+                training_config, seed, track_curves)
+        snapshot = registry.snapshot()
+        # Piggyback the raw records so the parent can re-emit them into
+        # its own sinks; merge_snapshot ignores the extra key.
+        snapshot["records"] = capture.records
+        return replace(result, telemetry=snapshot)
+    return _execute_run_body(pair, architecture, sampler, n_label_tuples,
+                             model_config, training_config, seed, track_curves)
+
+
+def _execute_run_body(pair: DatasetPair, architecture: str,
+                      sampler: Sampler | None, n_label_tuples: int,
+                      model_config: ModelConfig | None,
+                      training_config: TrainingConfig,
+                      seed: int, track_curves: bool) -> RunResult:
     detector = ErrorDetector(
         architecture=architecture,
         sampler=sampler if sampler is not None else DiverSet(),
@@ -199,7 +246,10 @@ def run_experiment(pair: DatasetPair, architecture: str = "etsb",
     ]
     runs = _execute_tasks(tasks, n_workers)
     system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
-    return ExperimentResult(dataset=pair.name, system=system, runs=tuple(runs))
+    result = ExperimentResult(dataset=pair.name, system=system,
+                              runs=tuple(runs))
+    _publish_experiment_telemetry(result)
+    return result
 
 
 def run_experiment_matrix(pairs: Sequence[DatasetPair],
@@ -239,7 +289,37 @@ def run_experiment_matrix(pairs: Sequence[DatasetPair],
         chunk = tuple(runs[i * n_runs:(i + 1) * n_runs])
         results[pair.name] = ExperimentResult(dataset=pair.name,
                                               system=system, runs=chunk)
+        _publish_experiment_telemetry(results[pair.name])
     return results
+
+
+def _publish_experiment_telemetry(result: ExperimentResult) -> None:
+    """Merge per-run snapshots into the process registry and emit a record.
+
+    Each run's metrics were collected under a task-local registry
+    (serial and pooled schedules alike), so the process registry only
+    learns about them here -- one merge per run, then one
+    ``{"type": "experiment"}`` record per dataset.
+    """
+    if not telemetry.enabled():
+        return
+    registry = telemetry.get_registry()
+    for run in result.runs:
+        if run.telemetry is not None:
+            for record in run.telemetry.get("records", ()):
+                registry.emit({**record, "run_seed": run.seed})
+            registry.merge_snapshot(run.telemetry)
+    registry.emit({
+        "type": "experiment",
+        "dataset": result.dataset,
+        "system": result.system,
+        "n_runs": len(result.runs),
+        "f1_mean": round(result.f1.mean, 4),
+        "train_seconds_mean": round(result.train_seconds.mean, 4),
+        "unique_cell_ratio": result.unique_cell_ratio,
+        "cache_hits": result.cache_counters[0],
+        "cache_misses": result.cache_counters[1],
+    })
 
 
 def _execute_tasks(tasks: list[tuple], n_workers: int | None) -> list[RunResult]:

@@ -18,6 +18,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 
 #: Key of one cached cell: (weights version, feature-row bytes).
@@ -40,6 +41,9 @@ class PredictionCache:
     invalidations:
         How many times the cache was flushed (weight updates, restores,
         explicit :meth:`invalidate` calls).
+    evictions:
+        Cumulative count of entries dropped by LRU capacity pressure
+        (``put`` overflow and ``resize`` shrinks; flushes do not count).
     """
 
     def __init__(self, capacity: int = 65536):
@@ -51,6 +55,7 @@ class PredictionCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -67,6 +72,7 @@ class PredictionCache:
         self.capacity = capacity
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def sync_version(self, version: int) -> None:
         """Flush every entry computed under a different weights version.
@@ -94,9 +100,17 @@ class PredictionCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if telemetry.enabled():
+                registry = telemetry.get_registry()
+                registry.counter("cache.lookups").inc()
+                registry.counter("cache.misses").inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter("cache.lookups").inc()
+            registry.counter("cache.hits").inc()
         return entry
 
     def put(self, key_bytes: bytes, probabilities: np.ndarray) -> None:
@@ -106,6 +120,9 @@ class PredictionCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            if telemetry.enabled():
+                telemetry.get_registry().counter("cache.evictions").inc()
 
     @property
     def hit_rate(self) -> float:
@@ -122,6 +139,7 @@ class PredictionCache:
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:

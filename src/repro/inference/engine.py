@@ -18,11 +18,14 @@ allocation beyond the returned output.
 
 from __future__ import annotations
 
+import time
+
 from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import no_grad
 from repro.errors import ConfigurationError
 from repro.inference.cache import PredictionCache
@@ -245,6 +248,9 @@ class InferenceEngine:
             rows = reps[todo]
             row_lengths = (None if lengths is None
                            else np.asarray(lengths).reshape(-1)[rows])
+            tele = telemetry.enabled()
+            forward_hist = (telemetry.get_registry().histogram(
+                "inference.forward_seconds") if tele else None)
             with no_grad():
                 for start in range(0, rows.shape[0], self.batch_size):
                     chunk_rows = rows[start:start + self.batch_size]
@@ -259,10 +265,14 @@ class InferenceEngine:
                             if width < part.shape[1]:
                                 part = part[:, :width]
                         chunk[name] = part
+                    chunk_started = time.perf_counter() if tele else 0.0
                     if chunk_rows.shape[0] == 1:
                         probs = self.model(pad_single_row(chunk)).numpy()[:1]
                     else:
                         probs = self.model(chunk).numpy()
+                    if forward_hist is not None:
+                        forward_hist.observe(
+                            time.perf_counter() - chunk_started)
                     if rep_probs is None:
                         rep_probs = self._representative_buffer(
                             n_unique, probs.shape[1], probs.dtype)
@@ -287,4 +297,15 @@ class InferenceEngine:
             n_evaluated=int(miss_positions.shape[0]),
         )
         self.total_stats = self.total_stats.merged(self.last_stats)
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            stats = self.last_stats
+            registry.counter("inference.calls").inc()
+            registry.counter("inference.rows").inc(stats.n_rows)
+            registry.counter("inference.unique").inc(stats.n_unique)
+            registry.counter("inference.cache_hits").inc(stats.cache_hits)
+            registry.counter("inference.cache_misses").inc(stats.cache_misses)
+            registry.counter("inference.evaluated").inc(stats.n_evaluated)
+            registry.gauge("inference.unique_ratio").set(stats.unique_ratio)
+            registry.emit({"type": "inference", **stats.as_dict()})
         return dedup.scatter(rep_probs)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.dataprep import (
     PreparedData,
     TrainTestSplit,
@@ -320,13 +321,25 @@ class ErrorDetector:
                                    dedup=split.test.dedup)
         report = ClassificationReport.from_predictions(split.test.labels,
                                                        predictions)
-        return DetectionResult(
+        result = DetectionResult(
             report=report,
             predictions=predictions,
             tuple_ids=split.test.tuple_ids,
             attribute_names=split.test.attribute_names,
             inference=self.inference_stats,
         )
+        if telemetry.enabled():
+            record = {
+                "type": "evaluation",
+                "n_cells": int(predictions.shape[0]),
+                "precision": round(report.precision, 4),
+                "recall": round(report.recall, 4),
+                "f1": round(report.f1, 4),
+            }
+            if result.inference is not None:
+                record["inference"] = result.inference.as_dict()
+            telemetry.get_registry().emit(record)
+        return result
 
     def predict_table(self) -> list[tuple[int, str]]:
         """Predicted-erroneous cells over the *whole* table (train + test)."""

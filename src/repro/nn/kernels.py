@@ -42,8 +42,11 @@ Kernels
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.autograd.function import Function, FunctionCtx
 from repro.errors import ShapeError
 
@@ -62,6 +65,45 @@ __all__ = [
 def _sigmoid(z: np.ndarray) -> np.ndarray:
     # Mirrors repro.autograd.ops.sigmoid bit for bit (incl. the clamp).
     return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+def _instrumented(cls: type[Function]) -> type[Function]:
+    """Per-kernel forward/backward wall-time timers.
+
+    Behind the ``REPRO_TELEMETRY`` switch: with telemetry off each call
+    pays a single cached boolean test before dispatching to the original
+    static method, so the default path's speedup gates are unaffected.
+    Timers are named ``kernel.<ClassName>.forward`` / ``.backward`` in
+    the process registry.
+    """
+    inner_forward = cls.forward
+    inner_backward = cls.backward
+    forward_name = f"kernel.{cls.__name__}.forward"
+    backward_name = f"kernel.{cls.__name__}.backward"
+
+    def forward(ctx, *args, **kwargs):
+        if not telemetry.enabled():
+            return inner_forward(ctx, *args, **kwargs)
+        started = time.perf_counter()
+        out = inner_forward(ctx, *args, **kwargs)
+        telemetry.get_registry().timer(forward_name).observe(
+            time.perf_counter() - started)
+        return out
+
+    def backward(ctx, grad):
+        if not telemetry.enabled():
+            return inner_backward(ctx, grad)
+        started = time.perf_counter()
+        out = inner_backward(ctx, grad)
+        telemetry.get_registry().timer(backward_name).observe(
+            time.perf_counter() - started)
+        return out
+
+    forward.__doc__ = inner_forward.__doc__
+    backward.__doc__ = inner_backward.__doc__
+    cls.forward = staticmethod(forward)
+    cls.backward = staticmethod(backward)
+    return cls
 
 
 def _classify_steps(mask: np.ndarray | None, n_steps: int
@@ -237,6 +279,7 @@ def _input_grads(dproj: np.ndarray, x: np.ndarray, w_x: np.ndarray,
     return dx, dw_x, db
 
 
+@_instrumented
 class RNNLevelFunction(Function):
     """One stacked-RNN level: ``h_t = tanh(x_t W_x + h_{t-1} W_h + b)``.
 
@@ -327,6 +370,7 @@ class RNNLevelFunction(Function):
         return dx, dw_x, dw_h, db
 
 
+@_instrumented
 class LSTMLevelFunction(Function):
     """One LSTM level; outputs the hidden-state sequence ``h`` only.
 
@@ -454,6 +498,7 @@ class LSTMLevelFunction(Function):
         return dx, dw_x, dw_h, db
 
 
+@_instrumented
 class GRULevelFunction(Function):
     """One GRU level: update gate z, reset gate r, candidate n."""
 
@@ -568,6 +613,7 @@ class GRULevelFunction(Function):
         return dx, dw_x, dw_h, db
 
 
+@_instrumented
 class DenseSoftmaxBCEFunction(Function):
     """Classifier head fused with its loss: dense -> softmax -> BCE.
 

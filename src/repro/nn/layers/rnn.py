@@ -26,8 +26,11 @@ forward values.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import Tensor, concat, stack, tanh, where
 from repro.errors import ConfigurationError
 from repro.nn import kernels
@@ -249,7 +252,13 @@ class StackedRNN(Module):
         sequence = x if width == n_steps else x[:, :width, :]
         states: list[Tensor | None] = []
         initial = None
+        # Per-level forward timers behind the REPRO_TELEMETRY switch (the
+        # graph backward runs through the generic engine, so its cost is
+        # recorded at whole-batch granularity by the training loop's
+        # train.backward_seconds timer instead).
+        tele = telemetry.enabled()
         for level, cell in enumerate(self.cells):
+            level_started = time.perf_counter() if tele else 0.0
             # Batch the input projection over all time steps: one big
             # matmul instead of one per step.
             projected = sequence @ cell.w_x + cell.b_h
@@ -268,6 +277,10 @@ class StackedRNN(Module):
                 # The externally visible output is cell.output(state): for
                 # LSTM that strips the internal cell state from the packing.
                 sequence = stack([cell.output(s) for s in states], axis=1)
+            if tele:
+                telemetry.get_registry().timer(
+                    f"graph.{self.cell_type}.level{level}.forward").observe(
+                        time.perf_counter() - level_started)
         top = self.cells[-1]
         final_output = top.output(state)
         outputs: list[Tensor] = []

@@ -17,11 +17,14 @@ bit-for-bit identical -- see :mod:`repro.nn.kernels`).
 
 from __future__ import annotations
 
+import time
+
 from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import Tensor, no_grad
 from repro.errors import ConfigurationError
 from repro.inference import InferenceEngine, InferenceStats, PredictionCache
@@ -301,36 +304,95 @@ class Trainer:
         self.model.train()
         for callback in self._all_callbacks:
             callback.on_train_begin(self.model)
-        for epoch in range(epochs):
-            epoch_loss = 0.0
-            examples = 0
-            if self.batch_sampler is not None and lengths is not None:
-                batch_iter = self.batch_sampler.batches(
-                    features, labels, lengths, batch_size, rng=self.rng)
-            else:
-                batch_iter = iterate_batches(features, labels, batch_size,
-                                             rng=self.rng, reuse_buffers=True)
-            for batch in batch_iter:
-                self.optimizer.zero_grad()
-                if model_loss is not None:
-                    loss = model_loss(batch.features, batch.labels)
+        # Telemetry is a single cached boolean test per epoch when off; the
+        # per-batch accounting below only runs when it is on.
+        tele = telemetry.enabled()
+        registry = telemetry.get_registry() if tele else None
+        full_width = None
+        if tele and SEQUENCE_KEYS[0] in features \
+                and features[SEQUENCE_KEYS[0]].ndim >= 2:
+            full_width = int(features[SEQUENCE_KEYS[0]].shape[1])
+        with telemetry.span("train.fit", epochs=epochs, batch_size=batch_size):
+            for epoch in range(epochs):
+                epoch_started = time.perf_counter() if tele else 0.0
+                epoch_loss = 0.0
+                examples = 0
+                n_batches = 0
+                norm_sum = 0.0
+                width_sum = 0
+                backward_seconds = 0.0
+                if self.batch_sampler is not None and lengths is not None:
+                    batch_iter = self.batch_sampler.batches(
+                        features, labels, lengths, batch_size, rng=self.rng)
                 else:
-                    outputs = self.model(batch.features)
-                    loss = self.loss_fn(outputs, batch.labels)
-                loss.backward()
-                if self.max_grad_norm is not None:
-                    clip_gradients(self.model.parameters(), self.max_grad_norm)
-                self.optimizer.step()
-                # The weights moved: bump the version so any prediction
-                # cache keyed on it drops its now-stale entries.
-                self.model.mark_weights_updated()
-                epoch_loss += loss.item() * batch.size
-                examples += batch.size
-            logs = {"loss": epoch_loss / examples}
-            for callback in self._all_callbacks:
-                callback.on_epoch_end(self.model, epoch, logs)
-            if any(cb.stop_requested() for cb in self._all_callbacks):
-                break
+                    batch_iter = iterate_batches(features, labels, batch_size,
+                                                 rng=self.rng,
+                                                 reuse_buffers=True)
+                for batch in batch_iter:
+                    self.optimizer.zero_grad()
+                    if model_loss is not None:
+                        loss = model_loss(batch.features, batch.labels)
+                    else:
+                        outputs = self.model(batch.features)
+                        loss = self.loss_fn(outputs, batch.labels)
+                    if tele:
+                        backward_started = time.perf_counter()
+                        loss.backward()
+                        backward_seconds += (time.perf_counter()
+                                             - backward_started)
+                    else:
+                        loss.backward()
+                    grad_norm = None
+                    if self.max_grad_norm is not None:
+                        grad_norm = clip_gradients(self.model.parameters(),
+                                                   self.max_grad_norm)
+                    self.optimizer.step()
+                    # The weights moved: bump the version so any prediction
+                    # cache keyed on it drops its now-stale entries.
+                    self.model.mark_weights_updated()
+                    epoch_loss += loss.item() * batch.size
+                    examples += batch.size
+                    if tele:
+                        n_batches += 1
+                        if grad_norm is not None:
+                            norm_sum += grad_norm
+                        if full_width is not None:
+                            width_sum += int(
+                                batch.features[SEQUENCE_KEYS[0]].shape[1])
+                logs = {"loss": epoch_loss / examples}
+                if tele:
+                    wall = time.perf_counter() - epoch_started
+                    registry.counter("train.epochs").inc()
+                    registry.counter("train.batches").inc(n_batches)
+                    registry.counter("train.examples").inc(examples)
+                    registry.timer("train.epoch_seconds").observe(wall)
+                    registry.timer("train.backward_seconds").observe(
+                        backward_seconds)
+                    registry.gauge("train.loss").set(logs["loss"])
+                    registry.emit({
+                        "type": "epoch",
+                        "epoch": epoch,
+                        "loss": logs["loss"],
+                        "grad_norm": (norm_sum / n_batches
+                                      if self.max_grad_norm is not None
+                                      and n_batches else None),
+                        "n_batches": n_batches,
+                        "examples": examples,
+                        # Mean examples per batch over the nominal batch
+                        # size, and mean trimmed sequence width over the
+                        # full padded width: how much real work each batch
+                        # carried (bucketed epochs trim, so < 1.0).
+                        "batch_fill": (examples / (n_batches * batch_size)
+                                       if n_batches else None),
+                        "width_ratio": (width_sum / (n_batches * full_width)
+                                        if full_width and n_batches else None),
+                        "backward_s": backward_seconds,
+                        "wall_s": wall,
+                    })
+                for callback in self._all_callbacks:
+                    callback.on_epoch_end(self.model, epoch, logs)
+                if any(cb.stop_requested() for cb in self._all_callbacks):
+                    break
         for callback in self._all_callbacks:
             callback.on_train_end(self.model)
         return self.history

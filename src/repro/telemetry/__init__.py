@@ -1,0 +1,86 @@
+"""Zero-dependency runtime instrumentation for the hot paths.
+
+The subsystem has three parts:
+
+* a process-wide :class:`MetricsRegistry` of named counters, gauges,
+  fixed-bucket histograms and monotonic timers
+  (:mod:`repro.telemetry.registry`);
+* nestable :func:`span` tracing contexts recording wall/CPU time and
+  parent links (:mod:`repro.telemetry.spans`);
+* pluggable sinks receiving structured records -- JSON-lines file,
+  in-memory (tests), stderr summary (:mod:`repro.telemetry.sinks`) --
+  plus an offline summarizer for the JSON-lines format
+  (:mod:`repro.telemetry.summarize`).
+
+Instrumentation is off by default and switched on with
+``REPRO_TELEMETRY=1`` (or :func:`set_enabled` /
+:func:`use_telemetry` at runtime); disabled call sites cost one boolean
+check, preserving the bit-for-bit and speedup contracts of the compute
+paths.  Instrumented sites: ``Trainer.fit`` (per-epoch loss, grad norm,
+batch occupancy, wall time), the fused kernels and the graph backend
+(per-layer forward/backward timers), ``InferenceEngine.predict_proba``
+and ``PredictionCache`` (dedup/cache counters, representative-forward
+latency histogram), the experiment runner (per-task snapshots merged
+across worker processes) and the CLI (``--telemetry-out`` /
+``repro telemetry summarize``).
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_EDGES,
+    TELEMETRY_ENV_VAR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    enabled,
+    get_registry,
+    merge_snapshots,
+    reset_enabled,
+    set_enabled,
+    set_registry,
+    use_registry,
+    use_telemetry,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    MemorySink,
+    Sink,
+    StderrSummarySink,
+)
+from repro.telemetry.spans import Span, current_span, span
+from repro.telemetry.summarize import (
+    read_records,
+    render_summary,
+    summarize_jsonl,
+    summarize_records,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_EDGES",
+    "TELEMETRY_ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "enabled",
+    "get_registry",
+    "merge_snapshots",
+    "reset_enabled",
+    "set_enabled",
+    "set_registry",
+    "use_registry",
+    "use_telemetry",
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "StderrSummarySink",
+    "Span",
+    "current_span",
+    "span",
+    "read_records",
+    "render_summary",
+    "summarize_jsonl",
+    "summarize_records",
+]

@@ -1,0 +1,114 @@
+"""Record sinks: where emitted telemetry records go.
+
+A sink receives flat dict records from
+:meth:`~repro.telemetry.registry.MetricsRegistry.emit`.  Three
+implementations cover the subsystem's uses:
+
+:class:`JsonlSink`
+    One JSON object per line, append-mode -- the ``--telemetry-out``
+    file format consumed by ``repro telemetry summarize``.
+:class:`MemorySink`
+    Keeps records in a list; the test suite's sink.
+:class:`StderrSummarySink`
+    Accumulates and prints a compact per-type summary on ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections.abc import Mapping
+from pathlib import Path
+
+import numpy as np
+
+
+def _json_default(value):
+    """Make numpy scalars/arrays JSON-serialisable."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+class Sink:
+    """Base sink; subclasses implement :meth:`emit`."""
+
+    def emit(self, record: Mapping) -> None:
+        """Receive one flat telemetry record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+
+class MemorySink(Sink):
+    """Collects records in :attr:`records` (the testing sink)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: Mapping) -> None:
+        self.records.append(dict(record))
+
+    def of_type(self, record_type: str) -> list[dict]:
+        """The collected records whose ``type`` field matches."""
+        return [r for r in self.records if r.get("type") == record_type]
+
+
+class JsonlSink(Sink):
+    """Append-mode JSON-lines file sink.
+
+    The file is opened lazily on the first record and flushed per line,
+    so a crash mid-run still leaves every completed record readable.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = None
+        self.n_records = 0
+
+    def emit(self, record: Mapping) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(json.dumps(dict(record), default=_json_default))
+        self._file.write("\n")
+        self._file.flush()
+        self.n_records += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class StderrSummarySink(Sink):
+    """Counts records per type and prints one summary line each on close."""
+
+    def __init__(self, stream=None):
+        self._stream = stream
+        self.type_counts: dict[str, int] = {}
+        self.wall_by_span: dict[str, float] = {}
+
+    def emit(self, record: Mapping) -> None:
+        record_type = str(record.get("type", "unknown"))
+        self.type_counts[record_type] = self.type_counts.get(record_type, 0) + 1
+        if record_type == "span":
+            name = str(record.get("name", "?"))
+            self.wall_by_span[name] = (self.wall_by_span.get(name, 0.0)
+                                       + float(record.get("wall_s", 0.0)))
+
+    def close(self) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        total = sum(self.type_counts.values())
+        print(f"telemetry: {total} records", file=stream)
+        for record_type in sorted(self.type_counts):
+            print(f"  {record_type:<12} {self.type_counts[record_type]}",
+                  file=stream)
+        for name in sorted(self.wall_by_span):
+            print(f"  span {name:<20} {self.wall_by_span[name]:.3f}s",
+                  file=stream)

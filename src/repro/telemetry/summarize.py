@@ -1,0 +1,130 @@
+"""Offline aggregation of JSON-lines telemetry files.
+
+``repro telemetry summarize out.jsonl`` renders the output of a
+``--telemetry-out`` session: record counts per type, per-span wall-time
+totals, the per-epoch loss trajectory, and the inference counters
+(rows/unique/cache hits/misses) summed over every prediction call.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+
+def read_records(path: str | Path) -> list[dict]:
+    """Parse one record per non-empty line of a JSON-lines file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no telemetry file at {path}")
+    records = []
+    for i, line in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"{path}:{i + 1} is not valid JSON: {error}"
+            ) from None
+    return records
+
+
+def summarize_records(records: Iterable[Mapping]) -> dict:
+    """Aggregate parsed telemetry records into one machine-readable dict.
+
+    Returns a dict with ``record_counts`` (per record type), ``spans``
+    (count / total & mean wall seconds per span name), ``epochs``
+    (count, first/last/min loss, total wall), and ``inference`` (summed
+    rows, unique cells, cache hits/misses, evaluated representatives and
+    the overall unique-cell ratio and hit rate).
+    """
+    record_counts: dict[str, int] = {}
+    spans: dict[str, dict] = {}
+    epochs: list[Mapping] = []
+    inference = {"calls": 0, "n_rows": 0, "n_unique": 0, "cache_hits": 0,
+                 "cache_misses": 0, "n_evaluated": 0}
+    for record in records:
+        record_type = str(record.get("type", "unknown"))
+        record_counts[record_type] = record_counts.get(record_type, 0) + 1
+        if record_type == "span":
+            entry = spans.setdefault(str(record.get("name", "?")),
+                                     {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+            entry["count"] += 1
+            entry["wall_s"] += float(record.get("wall_s", 0.0))
+            entry["cpu_s"] += float(record.get("cpu_s", 0.0))
+        elif record_type == "epoch":
+            epochs.append(record)
+        elif record_type == "inference":
+            inference["calls"] += 1
+            for key in ("n_rows", "n_unique", "cache_hits", "cache_misses",
+                        "n_evaluated"):
+                inference[key] += int(record.get(key, 0))
+
+    losses = [float(r["loss"]) for r in epochs if "loss" in r]
+    epoch_summary = {
+        "count": len(epochs),
+        "first_loss": losses[0] if losses else None,
+        "last_loss": losses[-1] if losses else None,
+        "min_loss": min(losses) if losses else None,
+        "wall_s": sum(float(r.get("wall_s", 0.0)) for r in epochs),
+    }
+    lookups = inference["cache_hits"] + inference["cache_misses"]
+    inference["unique_ratio"] = (inference["n_unique"] / inference["n_rows"]
+                                 if inference["n_rows"] else None)
+    inference["hit_rate"] = (inference["cache_hits"] / lookups
+                             if lookups else None)
+    return {
+        "n_records": sum(record_counts.values()),
+        "record_counts": record_counts,
+        "spans": spans,
+        "epochs": epoch_summary,
+        "inference": inference,
+    }
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_summary(summary: Mapping) -> str:
+    """Human-readable rendering of :func:`summarize_records` output."""
+    lines = [f"records: {summary['n_records']}"]
+    for record_type in sorted(summary["record_counts"]):
+        lines.append(f"  {record_type:<12} {summary['record_counts'][record_type]}")
+    if summary["spans"]:
+        lines.append("spans (total wall / count):")
+        for name in sorted(summary["spans"]):
+            entry = summary["spans"][name]
+            lines.append(f"  {name:<28} {entry['wall_s']:.3f}s / {entry['count']}")
+    epochs = summary["epochs"]
+    if epochs["count"]:
+        lines.append(
+            f"training: {epochs['count']} epochs, loss "
+            f"{_fmt(epochs['first_loss'])} -> {_fmt(epochs['last_loss'])} "
+            f"(min {_fmt(epochs['min_loss'])}), {epochs['wall_s']:.3f}s"
+        )
+    inference = summary["inference"]
+    if inference["calls"]:
+        lines.append(
+            f"inference: {inference['calls']} calls, {inference['n_rows']} rows, "
+            f"{inference['n_unique']} unique "
+            f"(ratio {_fmt(inference['unique_ratio'])}), "
+            f"cache {inference['cache_hits']} hits / "
+            f"{inference['cache_misses']} misses "
+            f"(hit rate {_fmt(inference['hit_rate'])}), "
+            f"{inference['n_evaluated']} network forwards"
+        )
+    return "\n".join(lines)
+
+
+def summarize_jsonl(path: str | Path) -> str:
+    """Read, aggregate and render one JSON-lines telemetry file."""
+    return render_summary(summarize_records(read_records(path)))

@@ -55,6 +55,7 @@ def _pool_features(rng, n_unique, n_rows):
     return features, pool_lengths[picks].astype(np.int64)
 
 
+@pytest.mark.equivalence
 class TestBitIdentity:
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(0, 10_000),

@@ -90,6 +90,7 @@ def _stacked_loss_and_grads(backend, cell_type, mask, reverse, x_data):
             loss.item(), grads)
 
 
+@pytest.mark.equivalence
 class TestFusedGraphEquivalence:
     x_data = np.random.default_rng(3).normal(size=(3, 6, 4))
 
@@ -164,6 +165,7 @@ def _tsb_setup():
 
 
 @pytest.mark.parametrize("architecture", [TSBRNN, ETSBRNN])
+@pytest.mark.equivalence
 class TestModelEquivalence:
     def _build(self, architecture, config):
         if architecture is TSBRNN:

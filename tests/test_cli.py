@@ -207,3 +207,81 @@ class TestServeCommand:
                      "--dirty", str(dirty), "--out", str(naive),
                      "--no-dedup"]) == 0
         assert fast.read_text() == naive.read_text()
+
+
+class TestTelemetryCli:
+    @pytest.fixture
+    def model_path(self, csv_pair, tmp_path):
+        dirty, clean = csv_pair
+        path = tmp_path / "model.npz"
+        main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+              "--epochs", "2", "--tuples", "6", "--save", str(path),
+              "--out", str(tmp_path / "e.csv")])
+        return path
+
+    def test_flag_parses_on_workload_commands(self):
+        for argv in (["detect", "--dirty", "d", "--clean", "c"],
+                     ["predict", "--model", "m", "--dirty", "d"],
+                     ["serve", "--model", "m", "x.csv"],
+                     ["benchmark", "--dataset", "beers"]):
+            args = build_parser().parse_args(argv + ["--telemetry-out",
+                                                     "t.jsonl"])
+            assert args.telemetry_out == "t.jsonl"
+
+    def test_detect_streams_records_and_snapshot(self, csv_pair, tmp_path,
+                                                 capsys):
+        import json
+
+        from repro import telemetry
+
+        dirty, clean = csv_pair
+        out = tmp_path / "tele.jsonl"
+        code = main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+                     "--epochs", "2", "--tuples", "6",
+                     "--out", str(tmp_path / "e.csv"),
+                     "--telemetry-out", str(out)])
+        assert code == 0
+        assert telemetry.enabled() is False  # session-scoped, restored
+        records = [json.loads(line)
+                   for line in out.read_text().strip().splitlines()]
+        epochs = [r for r in records if r.get("type") == "epoch"]
+        assert len(epochs) == 2
+        assert records[-1]["type"] == "snapshot"
+        assert records[-1]["metrics"]["counters"]["train.epochs"] == 2
+        assert "telemetry:" in capsys.readouterr().err
+
+    def test_predict_telemetry_matches_stderr_stats(self, csv_pair,
+                                                    model_path, tmp_path,
+                                                    capsys):
+        import json
+
+        dirty, _ = csv_pair
+        out = tmp_path / "predict.jsonl"
+        assert main(["predict", "--model", str(model_path),
+                     "--dirty", str(dirty), "--out", str(tmp_path / "p.csv"),
+                     "--telemetry-out", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in out.read_text().strip().splitlines()]
+        inference = [r for r in records if r.get("type") == "inference"]
+        assert len(inference) == 1
+        assert inference[0]["n_rows"] > 0
+        counters = records[-1]["metrics"]["counters"]
+        assert counters["inference.rows"] == inference[0]["n_rows"]
+
+    def test_summarize_round_trip(self, csv_pair, tmp_path, capsys):
+        dirty, clean = csv_pair
+        out = tmp_path / "tele.jsonl"
+        main(["detect", "--dirty", str(dirty), "--clean", str(clean),
+              "--epochs", "2", "--tuples", "6",
+              "--out", str(tmp_path / "e.csv"),
+              "--telemetry-out", str(out)])
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "records:" in text
+        assert "2 epochs" in text
+
+    def test_summarize_missing_file_fails(self, tmp_path, capsys):
+        assert main(["telemetry", "summarize",
+                     str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err

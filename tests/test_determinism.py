@@ -1,0 +1,112 @@
+"""End-to-end determinism: same seed, same bits, on every backend.
+
+Runs a tiny train -> predict -> metrics cycle twice from the same seed
+and asserts byte-identical weights, probabilities and detection metrics
+-- once per compute backend -- plus the serial-vs-parallel experiment
+runner equality (scheduling must not leak into results).
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.datasets import load
+from repro.experiments import run_experiment
+from repro.models import ErrorDetector, ModelConfig, TrainingConfig
+from repro.nn.backend import reset_backend, use_backend
+
+TINY = ModelConfig(char_embed_dim=6, value_units=5, num_layers=1,
+                   attr_embed_dim=3, attr_units=3, length_dense_units=4,
+                   head_units=4)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    reset_backend()
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return load("hospital", n_rows=40, seed=4)
+
+
+def _full_cycle(pair, seed=0):
+    """One train -> predict -> metrics cycle; returns everything bit-level."""
+    detector = ErrorDetector(n_label_tuples=6, model_config=TINY,
+                             training_config=TrainingConfig(epochs=2),
+                             seed=seed)
+    detector.fit(pair)
+    result = detector.evaluate()
+    split = detector.split
+    probabilities = detector.trainer.predict_proba(
+        split.test.features, lengths=split.test.lengths,
+        dedup=split.test.dedup)
+    weights = {name: np.array(value, copy=True)
+               for name, value in detector.model.state_dict().items()}
+    return weights, probabilities, result
+
+
+class TestSameSeedSameBits:
+    @pytest.mark.parametrize("backend", ["fused", "graph"])
+    def test_cycle_repeats_byte_identically(self, pair, backend):
+        with use_backend(backend):
+            weights_a, probs_a, result_a = _full_cycle(pair)
+            weights_b, probs_b, result_b = _full_cycle(pair)
+        assert sorted(weights_a) == sorted(weights_b)
+        for name in weights_a:
+            assert weights_a[name].tobytes() == weights_b[name].tobytes(), \
+                f"weight {name!r} differs between identical runs"
+        assert probs_a.tobytes() == probs_b.tobytes()
+        assert result_a.report == result_b.report
+        np.testing.assert_array_equal(result_a.predictions,
+                                      result_b.predictions)
+        assert result_a.inference.as_dict() == result_b.inference.as_dict()
+
+    def test_different_seeds_actually_differ(self, pair):
+        """Guards against the cycle ignoring its seed entirely."""
+        weights_a, _, _ = _full_cycle(pair, seed=0)
+        weights_b, _, _ = _full_cycle(pair, seed=1)
+        assert any(weights_a[name].tobytes() != weights_b[name].tobytes()
+                   for name in weights_a)
+
+    def test_telemetry_does_not_perturb_results(self, pair):
+        """Observability must be read-only: same bits with telemetry on."""
+        _, probs_plain, result_plain = _full_cycle(pair)
+        with telemetry.use_telemetry(telemetry.MetricsRegistry()):
+            _, probs_traced, result_traced = _full_cycle(pair)
+        assert probs_plain.tobytes() == probs_traced.tobytes()
+        assert result_plain.report == result_traced.report
+
+
+class TestRunnerScheduleEquality:
+    SETTINGS = dict(n_runs=2, n_label_tuples=6, epochs=2, model_config=TINY)
+
+    def test_serial_and_parallel_runs_match(self, pair):
+        serial = run_experiment(pair, **self.SETTINGS)
+        parallel = run_experiment(pair, **self.SETTINGS, n_workers=2)
+        assert len(serial.runs) == len(parallel.runs)
+        for run_s, run_p in zip(serial.runs, parallel.runs):
+            assert run_s.seed == run_p.seed
+            assert run_s.report == run_p.report
+            assert run_s.best_epoch == run_p.best_epoch
+            assert run_s.unique_cell_ratio == run_p.unique_cell_ratio
+            assert run_s.cache_hits == run_p.cache_hits
+            assert run_s.cache_misses == run_p.cache_misses
+
+    def test_telemetry_counters_are_schedule_independent(self, pair):
+        """Counters merged across workers equal the serial ones exactly
+        (timings aside -- wall clocks are the one legitimate difference)."""
+        with telemetry.use_telemetry(telemetry.MetricsRegistry()):
+            serial = run_experiment(pair, **self.SETTINGS)
+        with telemetry.use_telemetry(telemetry.MetricsRegistry()):
+            parallel = run_experiment(pair, **self.SETTINGS, n_workers=2)
+        merged_s = serial.merged_telemetry
+        merged_p = parallel.merged_telemetry
+        assert merged_s is not None and merged_p is not None
+        assert merged_s["counters"] == merged_p["counters"]
+        assert merged_s["gauges"]["train.loss"] == \
+            merged_p["gauges"]["train.loss"]
+        per_run = [run.telemetry["counters"] for run in parallel.runs]
+        assert all(c["train.epochs"] == self.SETTINGS["epochs"]
+                   for c in per_run)
