@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test test-equivalence bench bench-smoke bench-bucketing bench-dedup bench-full report examples clean
+.PHONY: install test test-equivalence test-chaos bench bench-smoke bench-bucketing bench-dedup bench-full report examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,12 @@ test:
 # dedup-memoized vs naive inference) -- the tier-1 correctness core.
 test-equivalence:
 	pytest tests/ -m equivalence -q
+
+# Fault-injection sweeps: kill training at every epoch and the runner at
+# every task index, then prove resume is bit-identical / result-identical
+# to the failure-free run (tests/faults/, marked `chaos`).
+test-chaos:
+	pytest tests/ -m chaos -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -8,6 +8,9 @@ The subcommands mirror the library's main workflows::
     repro predict --model model.npz --dirty d.csv
     repro serve   --model model.npz a.csv b.csv c.csv
     repro benchmark --dataset beers --rows 200 --runs 2
+    repro benchmark --dataset beers --resume runs.jsonl --max-retries 2
+    repro faults list
+    repro faults run --plan plan.json --dataset beers --resume runs.jsonl
 
 ``detect``/``repair`` also accept ``--save model.npz`` /
 ``--model model.npz`` for reusing a trained detector.  ``predict`` and
@@ -100,6 +103,28 @@ def _add_training_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cell", choices=("rnn", "lstm", "gru"),
                         default="rnn", help="recurrence cell family")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_benchmark_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``benchmark`` and ``faults run``."""
+    parser.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    parser.add_argument("--rows", type=int, default=200)
+    parser.add_argument("--runs", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan runs out over this many worker processes "
+                             "(default: serial; results are identical)")
+    parser.add_argument("--resume", metavar="JOURNAL", default=None,
+                        help="completed-task journal (JSONL); tasks already "
+                             "recorded are skipped, so re-invoking after a "
+                             "crash finishes only the remaining runs")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="per-task retries with exponential backoff "
+                             "(default: 0)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task wall-clock limit in seconds "
+                             "(enforced with --workers > 1 only)")
+    _add_training_flags(parser)
+    _add_telemetry_flag(parser)
 
 
 def _fit_detector(args) -> tuple[ErrorDetector, Table]:
@@ -316,17 +341,91 @@ def cmd_benchmark(args) -> int:
     pair = load(args.dataset, n_rows=args.rows, seed=args.seed)
     print(f"{args.dataset}: {pair.dirty.shape}, "
           f"error rate {pair.measured_error_rate():.2%}", file=sys.stderr)
+    # Durability flags switch the runner to graceful degradation: a task
+    # that exhausts its retries becomes a failure record instead of
+    # aborting the sweep, and --resume makes the re-invocation cheap.
+    durable = bool(args.resume or args.max_retries or args.task_timeout)
     result = run_experiment(
         pair, architecture=args.arch, n_runs=args.runs,
         n_label_tuples=args.tuples, epochs=args.epochs,
         model_config=ModelConfig(cell_type=args.cell),
-        n_workers=args.workers)
+        n_workers=args.workers,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        journal_path=args.resume,
+        fail_fast=not durable)
+    if result.failures:
+        for failure in result.failures:
+            print(f"FAILED task {failure.task_index} "
+                  f"(seed {failure.seed}) after {failure.attempts} "
+                  f"attempt(s): {failure.error_type}: {failure.error}",
+                  file=sys.stderr)
+        print(f"{len(result.failures)} of "
+              f"{len(result.failures) + len(result.runs)} runs failed; "
+              f"aggregates below cover the completed runs only"
+              + (" (re-invoke with the same --resume journal to retry)"
+                 if args.resume else ""),
+              file=sys.stderr)
+    if not result.runs:
+        print("error: every run failed; nothing to aggregate",
+              file=sys.stderr)
+        return 1
     row = result.as_row()
     print(f"P  = {row['P']:.3f} ± {row['P_sd']:.3f}")
     print(f"R  = {row['R']:.3f} ± {row['R_sd']:.3f}")
     print(f"F1 = {row['F1']:.3f} ± {row['F1_sd']:.3f}")
     print(f"train time = {row['seconds']:.1f}s ± {row['seconds_sd']:.1f}s")
+    return 1 if result.failures else 0
+
+
+def cmd_faults_list(args) -> int:
+    from repro.faults import describe_points
+
+    print(describe_points())
     return 0
+
+
+def cmd_faults_run(args) -> int:
+    """Run one benchmark experiment under a fault plan (chaos mode).
+
+    The plan activates in this process *and*, via the ``REPRO_FAULTS``
+    environment variable, in every worker process a pooled run spawns.
+    Exit code 0 means the sweep completed (faults absorbed or not
+    triggered); a kill fault escaping to the top level exits like the
+    crash it simulates, after pointing at the --resume journal.
+    """
+    import os
+
+    from repro.faults import (FAULTS_ENV_VAR, FaultPlan, WorkerKilled,
+                              clear_plan, install_plan)
+
+    plan = FaultPlan.load(args.plan)
+    print(f"fault plan: {len(plan.specs)} spec(s) from {args.plan}",
+          file=sys.stderr)
+    previous = os.environ.get(FAULTS_ENV_VAR)
+    os.environ[FAULTS_ENV_VAR] = args.plan
+    install_plan(plan)
+    try:
+        code = cmd_benchmark(args)
+    except WorkerKilled as exc:
+        print(f"sweep killed by injected fault: {exc}", file=sys.stderr)
+        if args.resume:
+            print(f"completed tasks are journalled in {args.resume}; "
+                  f"re-invoke to resume", file=sys.stderr)
+        return 1
+    finally:
+        if previous is None:
+            os.environ.pop(FAULTS_ENV_VAR, None)
+        else:
+            os.environ[FAULTS_ENV_VAR] = previous
+        clear_plan()
+        # Per-spec trigger counts for this process (pooled workers count
+        # their own triggers; those surface via faults.* telemetry).
+        for spec, count in zip(plan.specs, plan.triggers()):
+            if count:
+                print(f"fault triggered: {spec.point} [{spec.action}] "
+                      f"x{count}", file=sys.stderr)
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -396,15 +495,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("benchmark",
                              help="run one benchmark dataset end to end")
-    p_bench.add_argument("--dataset", choices=DATASET_NAMES, required=True)
-    p_bench.add_argument("--rows", type=int, default=200)
-    p_bench.add_argument("--runs", type=int, default=2)
-    p_bench.add_argument("--workers", type=int, default=None,
-                         help="fan runs out over this many worker processes "
-                              "(default: serial; results are identical)")
-    _add_training_flags(p_bench)
-    _add_telemetry_flag(p_bench)
+    _add_benchmark_flags(p_bench)
     p_bench.set_defaults(fn=cmd_benchmark)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection harness (chaos testing)")
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_flist = faults_sub.add_parser(
+        "list", help="list the named injection points")
+    p_flist.set_defaults(fn=cmd_faults_list)
+    p_frun = faults_sub.add_parser(
+        "run",
+        help="run one benchmark under a JSON fault plan; combine with "
+             "--resume to exercise crash recovery")
+    p_frun.add_argument("--plan", required=True,
+                        help="JSON fault-plan file (see repro.faults)")
+    _add_benchmark_flags(p_frun)
+    p_frun.set_defaults(fn=cmd_faults_run)
 
     p_tele = sub.add_parser(
         "telemetry", help="inspect telemetry JSON-lines files")

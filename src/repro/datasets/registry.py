@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.datasets import beers, flights, hospital, movies, rayyan, tax
 from repro.datasets.base import DatasetPair
 from repro.errors import DataError
+from repro.faults import inject
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,7 @@ def load(name: str, n_rows: int | None = None, seed: int = 0,
         Override the paper's cell error rate (``None`` keeps it).
     """
     entry = dataset_spec(name)
+    inject("dataset.generate", dataset=name)
     kwargs: dict = {"seed": seed}
     if n_rows is not None:
         if n_rows < 2:

@@ -22,9 +22,11 @@ from repro.experiments.analysis import (
     hardest_attributes,
     render_breakdown,
 )
+from repro.experiments.journal import TaskJournal, task_key
 from repro.experiments.runner import (
     ExperimentResult,
     RunResult,
+    TaskFailure,
     run_augmentation_baseline,
     run_experiment,
     run_experiment_matrix,
@@ -41,6 +43,9 @@ from repro.experiments.tables import (
 __all__ = [
     "RunResult",
     "ExperimentResult",
+    "TaskFailure",
+    "TaskJournal",
+    "task_key",
     "run_experiment",
     "run_experiment_matrix",
     "run_raha_baseline",

@@ -17,8 +17,9 @@ from __future__ import annotations
 import time
 
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -27,6 +28,8 @@ from repro.baselines.raha import RahaDetector
 
 from repro.datasets.base import DatasetPair
 from repro.errors import ExperimentError
+from repro.experiments.journal import TaskJournal, task_key
+from repro.faults import inject
 from repro.metrics import ClassificationReport, summarize
 from repro.metrics.stats import Summary
 from repro.models import ErrorDetector, ModelConfig, TrainingConfig
@@ -64,12 +67,31 @@ class RunResult:
 
 
 @dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retries (graceful-degradation record)."""
+
+    task_index: int
+    dataset: str
+    seed: int
+    attempts: int
+    error_type: str
+    error: str
+
+
+@dataclass(frozen=True)
 class ExperimentResult:
-    """Aggregate over the repeated runs of one experiment."""
+    """Aggregate over the repeated runs of one experiment.
+
+    ``failures`` is non-empty only for degraded runs (``fail_fast=False``
+    with tasks that exhausted their retries): the aggregate then covers
+    the successful runs and the failures document exactly what is
+    missing.
+    """
 
     dataset: str
     system: str
     runs: tuple[RunResult, ...]
+    failures: tuple[TaskFailure, ...] = ()
 
     def _summary(self, metric: str) -> Summary:
         return summarize([getattr(run.report, metric) for run in self.runs])
@@ -128,6 +150,23 @@ class ExperimentResult:
             "seconds": self.train_seconds.mean,
             "seconds_sd": self.train_seconds.stdev,
         }
+
+
+def _execute_task(task: tuple, task_index: int, attempt: int) -> RunResult:
+    """One durable-executor attempt at one task, bracketed by injects.
+
+    Module-level so the process pool can pickle it; runs in the worker,
+    so ``runner.task_start`` / ``runner.task_end`` faults fire in the
+    process doing the work (workers inherit plans via ``REPRO_FAULTS``).
+    The context carries the task identity and the attempt number, letting
+    a chaos plan target e.g. "kill task 3" or "fail every first attempt".
+    """
+    context = {"task_index": task_index, "dataset": task[0].name,
+               "seed": task[6], "attempt": attempt}
+    inject("runner.task_start", **context)
+    result = _execute_run(*task)
+    inject("runner.task_end", **context)
+    return result
 
 
 def _execute_run(pair: DatasetPair, architecture: str,
@@ -202,6 +241,25 @@ def _execute_run_body(pair: DatasetPair, architecture: str,
     )
 
 
+def _journal_fingerprint(architecture: str, n_label_tuples: int,
+                         model_config: ModelConfig | None,
+                         training_config: TrainingConfig,
+                         track_curves: bool) -> dict:
+    """The configuration identity a journal is valid for.
+
+    Deliberately excludes the dataset list, seed range and worker count:
+    those select *which* tasks run, not what any one task computes, so
+    e.g. widening ``n_runs`` keeps every journalled task reusable.
+    """
+    return {
+        "architecture": architecture,
+        "n_label_tuples": n_label_tuples,
+        "model_config": None if model_config is None else asdict(model_config),
+        "training_config": asdict(training_config),
+        "track_curves": track_curves,
+    }
+
+
 def run_experiment(pair: DatasetPair, architecture: str = "etsb",
                    sampler: Sampler | None = None, n_runs: int = 10,
                    n_label_tuples: int = 20, epochs: int = 120,
@@ -209,7 +267,12 @@ def run_experiment(pair: DatasetPair, architecture: str = "etsb",
                    training_config: TrainingConfig | None = None,
                    base_seed: int = 0,
                    track_curves: bool = False,
-                   n_workers: int | None = None) -> ExperimentResult:
+                   n_workers: int | None = None,
+                   max_retries: int = 0,
+                   retry_backoff: float = 0.5,
+                   task_timeout: float | None = None,
+                   journal_path: str | Path | None = None,
+                   fail_fast: bool = True) -> ExperimentResult:
     """Train and evaluate a detector ``n_runs`` times on one dataset.
 
     Parameters
@@ -234,6 +297,18 @@ def run_experiment(pair: DatasetPair, architecture: str = "etsb",
         Fan the runs out over this many worker processes.  ``None`` or 1
         runs serially in-process.  Aggregation is identical either way
         because every run's seed is ``base_seed + run_index``.
+    max_retries, retry_backoff, task_timeout:
+        Durability knobs: per-task retries with exponential backoff and
+        (pooled execution only) a per-attempt wall-clock limit.
+    journal_path:
+        Completed-task journal (JSONL).  A re-invocation with the same
+        journal skips every task already recorded, so a killed sweep
+        resumes where it stopped and aggregates identically to a
+        failure-free run.
+    fail_fast:
+        ``True`` raises on the first task that exhausts its retries;
+        ``False`` degrades gracefully, returning the successful runs
+        plus :class:`TaskFailure` records.
     """
     if n_runs < 1:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
@@ -244,10 +319,19 @@ def run_experiment(pair: DatasetPair, architecture: str = "etsb",
          base_seed + run_index, track_curves)
         for run_index in range(n_runs)
     ]
-    runs = _execute_tasks(tasks, n_workers)
+    journal = None
+    if journal_path is not None:
+        journal = TaskJournal(journal_path, _journal_fingerprint(
+            architecture, n_label_tuples, model_config, config, track_curves))
+    runs, failures = _execute_tasks(
+        tasks, n_workers, max_retries=max_retries,
+        retry_backoff=retry_backoff, task_timeout=task_timeout,
+        journal=journal, fail_fast=fail_fast)
     system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
     result = ExperimentResult(dataset=pair.name, system=system,
-                              runs=tuple(runs))
+                              runs=tuple(run for run in runs
+                                         if run is not None),
+                              failures=tuple(failures))
     _publish_experiment_telemetry(result)
     return result
 
@@ -260,6 +344,11 @@ def run_experiment_matrix(pairs: Sequence[DatasetPair],
                           training_config: TrainingConfig | None = None,
                           base_seed: int = 0,
                           n_workers: int | None = None,
+                          max_retries: int = 0,
+                          retry_backoff: float = 0.5,
+                          task_timeout: float | None = None,
+                          journal_path: str | Path | None = None,
+                          fail_fast: bool = True,
                           ) -> dict[str, ExperimentResult]:
     """Run the full dataset x seed grid, optionally over a process pool.
 
@@ -268,6 +357,11 @@ def run_experiment_matrix(pairs: Sequence[DatasetPair],
     of parallelising only within one dataset.  Returns one
     :class:`ExperimentResult` per dataset, keyed and aggregated exactly as
     ``{pair.name: run_experiment(pair, ...)}`` would produce serially.
+
+    The durability knobs (``max_retries``, ``retry_backoff``,
+    ``task_timeout``, ``journal_path``, ``fail_fast``) behave as in
+    :func:`run_experiment`; with a journal, a matrix re-invocation after
+    a crash re-runs only the tasks the journal does not yet hold.
     """
     if n_runs < 1:
         raise ExperimentError(f"n_runs must be >= 1, got {n_runs}")
@@ -282,13 +376,22 @@ def run_experiment_matrix(pairs: Sequence[DatasetPair],
         for pair in pairs
         for run_index in range(n_runs)
     ]
-    runs = _execute_tasks(tasks, n_workers)
+    journal = None
+    if journal_path is not None:
+        journal = TaskJournal(journal_path, _journal_fingerprint(
+            architecture, n_label_tuples, model_config, config, False))
+    runs, failures = _execute_tasks(
+        tasks, n_workers, max_retries=max_retries,
+        retry_backoff=retry_backoff, task_timeout=task_timeout,
+        journal=journal, fail_fast=fail_fast)
     system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
     results: dict[str, ExperimentResult] = {}
     for i, pair in enumerate(pairs):
-        chunk = tuple(runs[i * n_runs:(i + 1) * n_runs])
-        results[pair.name] = ExperimentResult(dataset=pair.name,
-                                              system=system, runs=chunk)
+        chunk = runs[i * n_runs:(i + 1) * n_runs]
+        results[pair.name] = ExperimentResult(
+            dataset=pair.name, system=system,
+            runs=tuple(run for run in chunk if run is not None),
+            failures=tuple(f for f in failures if f.dataset == pair.name))
         _publish_experiment_telemetry(results[pair.name])
     return results
 
@@ -309,6 +412,8 @@ def _publish_experiment_telemetry(result: ExperimentResult) -> None:
             for record in run.telemetry.get("records", ()):
                 registry.emit({**record, "run_seed": run.seed})
             registry.merge_snapshot(run.telemetry)
+    if not result.runs:  # fully-degraded dataset: nothing to aggregate
+        return
     registry.emit({
         "type": "experiment",
         "dataset": result.dataset,
@@ -322,16 +427,125 @@ def _publish_experiment_telemetry(result: ExperimentResult) -> None:
     })
 
 
-def _execute_tasks(tasks: list[tuple], n_workers: int | None) -> list[RunResult]:
-    """Execute run tasks serially or on a process pool, preserving order."""
+def _execute_tasks(tasks: list[tuple], n_workers: int | None,
+                   max_retries: int = 0, retry_backoff: float = 0.5,
+                   task_timeout: float | None = None,
+                   journal: TaskJournal | None = None,
+                   fail_fast: bool = True,
+                   ) -> tuple[list[RunResult | None], list[TaskFailure]]:
+    """Execute run tasks durably, preserving order.
+
+    Per task: journal lookup (already-completed tasks are skipped and
+    their journalled results reused), then up to ``1 + max_retries``
+    attempts with exponential backoff (``retry_backoff * 2**(n-1)``
+    seconds before retry ``n``).  Only ``Exception`` failures are
+    retried -- a :class:`~repro.faults.WorkerKilled` (``BaseException``)
+    propagates like the SIGKILL it simulates, and the journal is what
+    makes the re-invocation cheap.  ``task_timeout`` bounds each pooled
+    attempt (the timed-out worker cannot be interrupted and keeps its
+    slot until it finishes; serial attempts cannot be timed out and the
+    limit is ignored).  A task exhausting its retries raises
+    (``fail_fast=True``) or is recorded as a :class:`TaskFailure` with a
+    ``None`` result slot (``fail_fast=False``).
+    """
     if n_workers is not None and n_workers < 1:
         raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
-    if n_workers is None or n_workers == 1 or len(tasks) == 1:
-        return [_execute_run(*task) for task in tasks]
-    workers = min(n_workers, len(tasks))
+    if max_retries < 0:
+        raise ExperimentError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff < 0:
+        raise ExperimentError(
+            f"retry_backoff must be >= 0, got {retry_backoff}"
+        )
+    if task_timeout is not None and task_timeout <= 0:
+        raise ExperimentError(
+            f"task_timeout must be positive, got {task_timeout}"
+        )
+    tele = telemetry.enabled()
+    registry = telemetry.get_registry() if tele else None
+    results: list[RunResult | None] = [None] * len(tasks)
+    failures: list[TaskFailure] = []
+    completed = journal.load() if journal is not None else {}
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        key = task_key(task[0].name, task[6])
+        if key in completed:
+            results[i] = completed[key]
+            if tele:
+                registry.counter("runner.tasks_skipped").inc()
+        else:
+            pending.append(i)
+
+    def finish(index: int, result: RunResult) -> None:
+        results[index] = result
+        if journal is not None:
+            journal.record(task_key(tasks[index][0].name, tasks[index][6]),
+                           result)
+        if tele:
+            registry.counter("runner.tasks_completed").inc()
+
+    def fail(index: int, attempts: int, error: Exception) -> None:
+        if tele:
+            registry.counter("retry.failures").inc()
+        if fail_fast:
+            raise ExperimentError(
+                f"task {index} ({tasks[index][0].name}, "
+                f"seed {tasks[index][6]}) failed after {attempts} "
+                f"attempt(s): {error}"
+            ) from error
+        failures.append(TaskFailure(
+            task_index=index, dataset=tasks[index][0].name,
+            seed=tasks[index][6], attempts=attempts,
+            error_type=type(error).__name__, error=str(error)))
+
+    def backoff(attempt: int) -> None:
+        if tele:
+            registry.counter("retry.attempts").inc()
+        if retry_backoff > 0:
+            time.sleep(retry_backoff * 2 ** (attempt - 1))
+
+    if n_workers is None or n_workers == 1 or len(pending) <= 1:
+        for i in pending:
+            for attempt in range(max_retries + 1):
+                if attempt:
+                    backoff(attempt)
+                try:
+                    result = _execute_task(tasks[i], i, attempt)
+                except Exception as error:  # kills (BaseException) propagate
+                    if attempt == max_retries:
+                        fail(i, attempt + 1, error)
+                else:
+                    if tele and attempt:
+                        registry.counter("retry.successes").inc()
+                    finish(i, result)
+                    break
+        return results, failures
+
+    workers = min(n_workers, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute_run, *task) for task in tasks]
-        return [future.result() for future in futures]
+        futures = {i: pool.submit(_execute_task, tasks[i], i, 0)
+                   for i in pending}
+        for i in pending:
+            for attempt in range(max_retries + 1):
+                if attempt:
+                    backoff(attempt)
+                    futures[i] = pool.submit(_execute_task, tasks[i], i,
+                                             attempt)
+                try:
+                    result = futures[i].result(timeout=task_timeout)
+                except FutureTimeout:
+                    futures[i].cancel()
+                    if attempt == max_retries:
+                        fail(i, attempt + 1, ExperimentError(
+                            f"attempt exceeded task_timeout={task_timeout}s"))
+                except Exception as error:  # kills propagate, see above
+                    if attempt == max_retries:
+                        fail(i, attempt + 1, error)
+                else:
+                    if tele and attempt:
+                        registry.counter("retry.successes").inc()
+                    finish(i, result)
+                    break
+    return results, failures
 
 
 def _curve_callback(detector: ErrorDetector,

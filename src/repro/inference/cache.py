@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
+from repro.faults import inject
 
 #: Key of one cached cell: (weights version, feature-row bytes).
 CacheKey = tuple[int, bytes]
@@ -96,6 +97,7 @@ class PredictionCache:
 
     def get(self, key_bytes: bytes) -> np.ndarray | None:
         """Probabilities for a feature row, or ``None``; counts hit/miss."""
+        inject("cache.lookup")
         key = (self._version, key_bytes)
         entry = self._entries.get(key)
         if entry is None:

@@ -167,22 +167,35 @@ class ErrorDetector:
 
     # -- fitting ---------------------------------------------------------------
 
-    def fit(self, pair: DatasetPair) -> "ErrorDetector":
+    def fit(self, pair: DatasetPair,
+            checkpoint_path: "str | Path | None" = None,
+            resume_from: "str | Path | None" = None) -> "ErrorDetector":
         """Fit on a benchmark pair, labelling sampled tuples from the clean table.
 
         This mirrors the paper's experiments: the user's labelling of the
         20 selected tuples is simulated with the ground truth, and *only*
         those tuples' labels are ever shown to the model.
-        """
-        return self.fit_tables(pair.dirty, pair.clean)
 
-    def fit_tables(self, dirty: Table, clean: Table) -> "ErrorDetector":
+        ``checkpoint_path`` / ``resume_from`` pass through to
+        :meth:`repro.nn.training.Trainer.fit`: epoch checkpoints are
+        written atomically, and resuming from one after a crash yields
+        final weights bit-identical to the uninterrupted fit.
+        """
+        return self.fit_tables(pair.dirty, pair.clean,
+                               checkpoint_path=checkpoint_path,
+                               resume_from=resume_from)
+
+    def fit_tables(self, dirty: Table, clean: Table,
+                   checkpoint_path: "str | Path | None" = None,
+                   resume_from: "str | Path | None" = None) -> "ErrorDetector":
         """Fit from explicit dirty/clean tables (ground-truth labelling)."""
         prepared = prepare(dirty, clean)
         rng = np.random.default_rng(self.seed)
         train_ids = self.sampler.select(self.n_label_tuples, prepared, rng)
         split = split_by_tuple_ids(prepared, train_ids)
-        return self._train(prepared, split, rng)
+        return self._train(prepared, split, rng,
+                           checkpoint_path=checkpoint_path,
+                           resume_from=resume_from)
 
     def fit_with_labels(self, dirty: Table, label_fn: LabelFunction) -> "ErrorDetector":
         """Fit with labels obtained interactively from ``label_fn``.
@@ -237,7 +250,9 @@ class ErrorDetector:
         return self._train(prepared, split, rng)
 
     def _train(self, prepared: PreparedData, split: TrainTestSplit,
-               rng: np.random.Generator) -> "ErrorDetector":
+               rng: np.random.Generator,
+               checkpoint_path: "str | Path | None" = None,
+               resume_from: "str | Path | None" = None) -> "ErrorDetector":
         model = build_model(self.architecture, prepared, self.model_config, rng)
         optimizer = RMSprop(model.parameters(),
                             learning_rate=self.training_config.learning_rate)
@@ -268,7 +283,8 @@ class ErrorDetector:
         self.checkpoint = checkpoint
         trainer.fit(split.train.features, split.train.labels,
                     epochs=self.training_config.epochs, batch_size=batch_size,
-                    lengths=split.train.lengths)
+                    lengths=split.train.lengths,
+                    checkpoint_path=checkpoint_path, resume_from=resume_from)
         return self
 
     # -- inference ------------------------------------------------------------

@@ -33,6 +33,19 @@ class Callback:
         """Whether training should halt after the current epoch."""
         return False
 
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the callback's accumulated state.
+
+        Values may be JSON-able scalars/lists, ``np.ndarray``, or one
+        level of ``dict[str, np.ndarray]`` (the training-checkpoint
+        format flattens exactly that much).  Stateless callbacks return
+        the default empty dict and are skipped on resume.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (no-op by default)."""
+
 
 class History(Callback):
     """Records every epoch's logs; drives the Figure 6/7 curves."""
@@ -53,6 +66,15 @@ class History(Callback):
                 f"no recorded metric {key!r}; available: {sorted(self.logs)}"
             )
         return list(self.logs[key])
+
+    def state_dict(self) -> dict:
+        return {"epochs": list(self.epochs),
+                "logs": {key: list(values) for key, values in self.logs.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epochs = [int(e) for e in state.get("epochs", [])]
+        self.logs = {key: list(values)
+                     for key, values in state.get("logs", {}).items()}
 
 
 class BestWeightsCheckpoint(Callback):
@@ -108,6 +130,23 @@ class BestWeightsCheckpoint(Callback):
             raise ConfigurationError("no snapshot recorded yet")
         self._restore_state(model)
 
+    def state_dict(self) -> dict:
+        state: dict = {"best_value": self.best_value,
+                       "best_epoch": self.best_epoch}
+        if self._best_state is not None:
+            state["best_state"] = {name: array.copy()
+                                   for name, array in self._best_state.items()}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best_value = state.get("best_value")
+        best_epoch = state.get("best_epoch")
+        self.best_epoch = None if best_epoch is None else int(best_epoch)
+        best_state = state.get("best_state")
+        self._best_state = (None if best_state is None else
+                            {name: np.array(array, copy=True)
+                             for name, array in best_state.items()})
+
     def _restore_state(self, model: Module) -> None:
         """Swap in the snapshot and bump the model's weights version.
 
@@ -157,6 +196,16 @@ class EarlyStopping(Callback):
 
     def stop_requested(self) -> bool:
         return self._stop
+
+    def state_dict(self) -> dict:
+        return {"best_value": self.best_value,
+                "stale_epochs": self._stale_epochs,
+                "stop": self._stop}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best_value = state.get("best_value")
+        self._stale_epochs = int(state.get("stale_epochs", 0))
+        self._stop = bool(state.get("stop", False))
 
 
 class EpochEvaluator(Callback):

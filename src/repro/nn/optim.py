@@ -57,6 +57,73 @@ class Optimizer:
         for param in self.parameters:
             param.zero_grad()
 
+    # -- checkpointing --------------------------------------------------------
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        """Per-parameter state arrays, keyed by slot name (subclass hook)."""
+        return {}
+
+    def _extra_state(self) -> dict:
+        """Scalar state and hyperparameters (subclass hook)."""
+        return {}
+
+    def _load_extra(self, extra: dict) -> None:
+        """Restore :meth:`_extra_state` output (subclass hook)."""
+
+    def state_dict(self) -> dict:
+        """Snapshot of the optimizer's full update state.
+
+        Together with the model's ``state_dict`` and the shuffling RNG
+        state this makes training resumable: re-applying the snapshot
+        and continuing yields the identical weight trajectory.
+        """
+        return {
+            "type": type(self).__name__,
+            "learning_rate": float(self.learning_rate),
+            "slots": {name: [array.copy() for array in arrays]
+                      for name, arrays in self._slot_arrays().items()},
+            "extra": dict(self._extra_state()),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Raises
+        ------
+        ConfigurationError
+            When the snapshot came from a different optimizer type or
+            its slot shapes do not match this optimizer's parameters.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ConfigurationError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"not {type(self).__name__!r}"
+            )
+        own = self._slot_arrays()
+        slots = state.get("slots", {})
+        if set(slots) != set(own):
+            raise ConfigurationError(
+                f"optimizer slot mismatch: saved {sorted(slots)}, "
+                f"expected {sorted(own)}"
+            )
+        for name, arrays in own.items():
+            saved = slots[name]
+            if len(saved) != len(arrays):
+                raise ConfigurationError(
+                    f"slot {name!r} has {len(saved)} saved arrays "
+                    f"for {len(arrays)} parameters"
+                )
+            for target, value in zip(arrays, saved):
+                value = np.asarray(value)
+                if target.shape != value.shape:
+                    raise ConfigurationError(
+                        f"slot {name!r} shape mismatch: "
+                        f"{value.shape} vs {target.shape}"
+                    )
+                target[...] = value
+        self.learning_rate = float(state["learning_rate"])
+        self._load_extra(state.get("extra", {}))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -68,6 +135,15 @@ class SGD(Optimizer):
             raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
+
+    def _extra_state(self) -> dict:
+        return {"momentum": self.momentum}
+
+    def _load_extra(self, extra: dict) -> None:
+        self.momentum = float(extra.get("momentum", self.momentum))
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -94,6 +170,16 @@ class RMSprop(Optimizer):
         self.epsilon = epsilon
         self._mean_square = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"mean_square": self._mean_square}
+
+    def _extra_state(self) -> dict:
+        return {"rho": self.rho, "epsilon": self.epsilon}
+
+    def _load_extra(self, extra: dict) -> None:
+        self.rho = float(extra.get("rho", self.rho))
+        self.epsilon = float(extra.get("epsilon", self.epsilon))
+
     def step(self) -> None:
         for param, mean_square in zip(self.parameters, self._mean_square):
             if param.grad is None:
@@ -119,6 +205,19 @@ class Adam(Optimizer):
         self._step_count = 0
         self._moment1 = [np.zeros_like(p.data) for p in self.parameters]
         self._moment2 = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"moment1": self._moment1, "moment2": self._moment2}
+
+    def _extra_state(self) -> dict:
+        return {"beta1": self.beta1, "beta2": self.beta2,
+                "epsilon": self.epsilon, "step_count": self._step_count}
+
+    def _load_extra(self, extra: dict) -> None:
+        self.beta1 = float(extra.get("beta1", self.beta1))
+        self.beta2 = float(extra.get("beta2", self.beta2))
+        self.epsilon = float(extra.get("epsilon", self.epsilon))
+        self._step_count = int(extra.get("step_count", self._step_count))
 
     def step(self) -> None:
         self._step_count += 1

@@ -110,3 +110,11 @@ class LearningRateScheduler(Callback):
         next_rate = self.schedule.rate_at(epoch + 1)
         self.optimizer.learning_rate = next_rate
         self.history.append(next_rate)
+
+    def state_dict(self) -> dict:
+        # The applied rate itself lives in the optimizer state; the
+        # history is the per-epoch record needed to resume seamlessly.
+        return {"history": list(self.history)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.history = [float(rate) for rate in state.get("history", [])]

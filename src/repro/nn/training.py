@@ -24,9 +24,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from pathlib import Path
+
 from repro import telemetry
 from repro.autograd import Tensor, no_grad
 from repro.errors import ConfigurationError
+from repro.faults import inject
 from repro.inference import InferenceEngine, InferenceStats, PredictionCache
 from repro.inference.engine import pad_single_row
 from repro.inference.index import DedupIndex
@@ -287,15 +290,31 @@ class Trainer:
         self._engine = InferenceEngine(self.model, cache=self.prediction_cache)
 
     def fit(self, features: Features, labels: np.ndarray, epochs: int,
-            batch_size: int, lengths: np.ndarray | None = None) -> History:
+            batch_size: int, lengths: np.ndarray | None = None,
+            checkpoint_path: str | Path | None = None,
+            checkpoint_every: int = 1,
+            resume_from: str | Path | None = None) -> History:
         """Train for ``epochs`` passes over the data; returns the history.
 
         With both a :attr:`batch_sampler` and per-example ``lengths``,
         batches are length-bucketed and trimmed; otherwise the plain
         shuffled iteration is used (``lengths`` is then ignored).
+
+        Crash safety: with ``checkpoint_path``, the full training state
+        (weights, optimizer slots, shuffling RNG, callback state, epoch
+        counter) is atomically written every ``checkpoint_every`` epochs.
+        With ``resume_from`` pointing at such a file, training continues
+        after the checkpoint's epoch and the final weights are
+        bit-identical to an uninterrupted run; a missing ``resume_from``
+        file simply starts fresh (so a first run and a re-run after a
+        crash are the same invocation).
         """
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         labels = np.asarray(labels)
         _validate(features, labels)
         # Models may fuse forward and loss into one call (e.g. the fused
@@ -304,6 +323,14 @@ class Trainer:
         self.model.train()
         for callback in self._all_callbacks:
             callback.on_train_begin(self.model)
+        # Restore AFTER on_train_begin so begin-hooks (e.g. a schedule
+        # resetting the learning rate for epoch 0) cannot clobber the
+        # checkpointed state; the checkpoint already reflects them.
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self._restore_checkpoint(resume_from)
+        if any(cb.stop_requested() for cb in self._all_callbacks):
+            start_epoch = epochs  # resumed into an already-stopped run
         # Telemetry is a single cached boolean test per epoch when off; the
         # per-batch accounting below only runs when it is on.
         tele = telemetry.enabled()
@@ -313,7 +340,7 @@ class Trainer:
                 and features[SEQUENCE_KEYS[0]].ndim >= 2:
             full_width = int(features[SEQUENCE_KEYS[0]].shape[1])
         with telemetry.span("train.fit", epochs=epochs, batch_size=batch_size):
-            for epoch in range(epochs):
+            for epoch in range(start_epoch, epochs):
                 epoch_started = time.perf_counter() if tele else 0.0
                 epoch_loss = 0.0
                 examples = 0
@@ -328,7 +355,9 @@ class Trainer:
                     batch_iter = iterate_batches(features, labels, batch_size,
                                                  rng=self.rng,
                                                  reuse_buffers=True)
-                for batch in batch_iter:
+                for batch_index, batch in enumerate(batch_iter):
+                    inject("trainer.batch_step", epoch=epoch,
+                           batch=batch_index)
                     self.optimizer.zero_grad()
                     if model_loss is not None:
                         loss = model_loss(batch.features, batch.labels)
@@ -391,11 +420,66 @@ class Trainer:
                     })
                 for callback in self._all_callbacks:
                     callback.on_epoch_end(self.model, epoch, logs)
-                if any(cb.stop_requested() for cb in self._all_callbacks):
+                # Fired before the checkpoint write: a kill here loses the
+                # whole epoch, the harshest recovery window the chaos
+                # tests exercise.
+                inject("trainer.epoch_end", epoch=epoch)
+                stop = any(cb.stop_requested()
+                           for cb in self._all_callbacks)
+                if checkpoint_path is not None and (
+                        (epoch + 1) % checkpoint_every == 0
+                        or epoch == epochs - 1 or stop):
+                    self._save_checkpoint(checkpoint_path, epoch)
+                if stop:
                     break
         for callback in self._all_callbacks:
             callback.on_train_end(self.model)
         return self.history
+
+    def _save_checkpoint(self, path: str | Path, epoch: int) -> None:
+        # Imported lazily: repro.models.serialization imports the model
+        # zoo, which imports repro.nn.
+        from repro.models.serialization import save_training_checkpoint
+
+        save_training_checkpoint(path, self.model, self.optimizer,
+                                 epoch=epoch, rng=self.rng,
+                                 callbacks=self._all_callbacks)
+
+    def _restore_checkpoint(self, path: str | Path) -> int:
+        """Restore a training checkpoint; returns the epoch to resume at.
+
+        A missing file is not an error -- it means "no prior progress",
+        so the caller starts from epoch 0 and the same command line works
+        for both the first run and every re-run after a crash.
+        """
+        from repro.models.serialization import load_training_checkpoint
+
+        path = Path(path)
+        if not path.exists():
+            return 0
+        ckpt = load_training_checkpoint(path)
+        self.model.load_state_dict(ckpt.model_state)
+        self.model.mark_weights_updated()
+        self.optimizer.load_state_dict(ckpt.optimizer_state)
+        if ckpt.rng_state is not None:
+            if self.rng is None:
+                raise ConfigurationError(
+                    "checkpoint carries a shuffling RNG state but this "
+                    "trainer has rng=None"
+                )
+            self.rng.bit_generator.state = ckpt.rng_state
+        if ckpt.callback_types:
+            names = [type(cb).__name__ for cb in self._all_callbacks]
+            if list(ckpt.callback_types) != names:
+                raise ConfigurationError(
+                    f"checkpoint callbacks {list(ckpt.callback_types)} do "
+                    f"not match this trainer's callbacks {names}"
+                )
+            for callback, state in zip(self._all_callbacks,
+                                       ckpt.callback_states):
+                if state:
+                    callback.load_state_dict(state)
+        return ckpt.epoch + 1
 
     def predict_proba(self, features: Features, batch_size: int = 256,
                       lengths: np.ndarray | None = None,

@@ -1,0 +1,37 @@
+"""Shared fixtures for the fault-injection suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULTS_ENV_VAR, clear_plan
+from repro.models import ModelConfig
+
+#: Tiny architecture shared by every chaos experiment (seconds, not minutes).
+TINY = ModelConfig(char_embed_dim=6, value_units=8, attr_embed_dim=3,
+                   attr_units=3, length_dense_units=6, head_units=8)
+
+#: Experiment settings matching the parallel-runner suite's idiom.
+SETTINGS = dict(n_runs=3, n_label_tuples=6, epochs=2, model_config=TINY)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan(monkeypatch):
+    """Every test starts and ends without an active plan or env override."""
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    clear_plan(reset_env=True)
+    yield
+    clear_plan(reset_env=True)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    from repro.datasets import load
+
+    return load("hospital", n_rows=40, seed=4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

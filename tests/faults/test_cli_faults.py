@@ -1,0 +1,84 @@
+"""CLI surface of the fault harness: ``repro faults`` and the durable
+benchmark flags (``--resume``, ``--max-retries``, ``--task-timeout``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.faults import FaultPlan, FaultSpec, INJECTION_POINTS
+
+BENCH = ["--dataset", "hospital", "--rows", "40", "--runs", "2",
+         "--tuples", "6", "--epochs", "2"]
+
+
+class TestParser:
+    def test_benchmark_durability_flags(self):
+        args = build_parser().parse_args(
+            ["benchmark", *BENCH, "--resume", "j.jsonl",
+             "--max-retries", "3", "--task-timeout", "10.5"])
+        assert args.resume == "j.jsonl"
+        assert args.max_retries == 3
+        assert args.task_timeout == 10.5
+
+    def test_benchmark_durability_defaults(self):
+        args = build_parser().parse_args(["benchmark", *BENCH])
+        assert args.resume is None
+        assert args.max_retries == 0
+        assert args.task_timeout is None
+
+    def test_faults_run_requires_plan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "run", *BENCH])
+
+
+class TestFaultsList:
+    def test_lists_every_point(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in INJECTION_POINTS:
+            assert name in out
+
+
+class TestFaultsRun:
+    def test_clean_plan_exits_zero(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan().save(plan_path)
+        assert main(["faults", "run", "--plan", str(plan_path), *BENCH]) == 0
+        assert "F1" in capsys.readouterr().out
+
+    def test_kill_then_resume_via_cli(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan([FaultSpec(point="runner.task_start", action="kill",
+                             match={"task_index": 1})]).save(plan_path)
+        journal = tmp_path / "runs.jsonl"
+        code = main(["faults", "run", "--plan", str(plan_path),
+                     "--resume", str(journal), *BENCH])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "killed by injected fault" in err
+        assert journal.exists()
+
+        # the re-invocation without the plan completes the sweep
+        assert main(["benchmark", "--resume", str(journal), *BENCH]) == 0
+        assert "F1" in capsys.readouterr().out
+
+    def test_retries_absorb_transient_fault(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan([FaultSpec(point="runner.task_start", action="raise",
+                             match={"task_index": 0, "attempt": 0})]).save(
+            plan_path)
+        code = main(["faults", "run", "--plan", str(plan_path),
+                     "--max-retries", "2", *BENCH])
+        assert code == 0
+        assert "fault triggered: runner.task_start [raise] x1" \
+            in capsys.readouterr().err
+
+    def test_degraded_benchmark_reports_failures(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan([FaultSpec(point="runner.task_start", action="raise",
+                             match={"task_index": 1})]).save(plan_path)
+        code = main(["faults", "run", "--plan", str(plan_path),
+                     "--max-retries", "1", *BENCH])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED task 1" in captured.err
+        assert "F1" in captured.out  # partial aggregate still printed

@@ -1,0 +1,36 @@
+"""Golden-file regression gate: exact metrics for every dataset x arch.
+
+Any unintended numeric drift (encoding, init, training order, inference)
+flips at least one committed metric.  If a change is *intentional*,
+regenerate with ``python tests/golden/update_golden.py`` and commit the
+diff — the review then shows exactly which cells moved.
+"""
+
+import json
+
+import pytest
+
+from tests.golden.update_golden import (
+    ARCHITECTURES,
+    GOLDEN_PATH,
+    compute_cell,
+)
+
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+CELLS = sorted(GOLDEN["metrics"])
+
+
+def test_golden_covers_full_grid():
+    from repro.datasets import DATASET_NAMES
+
+    expected = {f"{d}/{a}" for d in DATASET_NAMES for a in ARCHITECTURES}
+    assert set(CELLS) == expected
+
+
+@pytest.mark.parametrize("cell", CELLS)
+def test_metrics_match_golden(cell):
+    dataset, architecture = cell.split("/")
+    assert compute_cell(dataset, architecture) == GOLDEN["metrics"][cell], (
+        f"metrics drifted for {cell}; if intentional, regenerate with "
+        "`python tests/golden/update_golden.py` and commit the diff")

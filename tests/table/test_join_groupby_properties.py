@@ -1,0 +1,184 @@
+"""Property tests: hash join and groupby against brute-force oracles.
+
+The paper's pipeline hinges on the long-format merge on
+``(id_, attribute)`` (Figure 3) producing ``value_x`` / ``value_y``.
+These properties check :func:`repro.table.join.merge_tables` and
+:meth:`GroupBy.agg` against transparent nested-loop / dict oracles over
+arbitrary generated tables: duplicate keys, ``None`` keys, unmatched
+rows on either side.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table import Table
+
+key_cell = st.one_of(st.none(), st.integers(0, 4),
+                     st.sampled_from(["a", "b", "c"]))
+value_cell = st.one_of(st.none(), st.integers(-50, 50),
+                       st.text(string.ascii_lowercase, max_size=4))
+
+
+@st.composite
+def keyed_tables(draw, max_rows=8):
+    """A pair of tables sharing key columns (id_, attribute) and an
+    overlapping non-key column ``value`` -- the paper's merge shape."""
+    def one(n):
+        return Table({
+            "id_": draw(st.lists(key_cell, min_size=n, max_size=n)),
+            "attribute": draw(st.lists(key_cell, min_size=n, max_size=n)),
+            "value": draw(st.lists(value_cell, min_size=n, max_size=n)),
+        })
+    left = one(draw(st.integers(0, max_rows)))
+    right = one(draw(st.integers(0, max_rows)))
+    return left, right
+
+
+def oracle_merge(left, right, on, how):
+    """Nested-loop join emitting rows in the documented order: left row
+    order, right matches in right-table order, then (outer) unmatched
+    right rows in right-table order."""
+    lrows = left.to_rows()
+    rrows = right.to_rows()
+    non_key_l = [c for c in left.column_names if c not in on]
+    non_key_r = [c for c in right.column_names if c not in on]
+    overlap = set(non_key_l) & set(non_key_r)
+
+    def out_row(lrow, rrow, key):
+        row = dict(zip(on, key))
+        for c in non_key_l:
+            row[c + "_x" if c in overlap else c] = \
+                lrow[c] if lrow is not None else None
+        for c in non_key_r:
+            row[c + "_y" if c in overlap else c] = \
+                rrow[c] if rrow is not None else None
+        return row
+
+    out, matched = [], set()
+    for lrow in lrows:
+        key = tuple(lrow[c] for c in on)
+        hits = [j for j, rrow in enumerate(rrows)
+                if tuple(rrow[c] for c in on) == key]
+        if hits:
+            matched.update(hits)
+            out.extend(out_row(lrow, rrows[j], key) for j in hits)
+        elif how in ("left", "outer"):
+            out.append(out_row(lrow, None, key))
+    if how == "outer":
+        out.extend(out_row(None, rrow, tuple(rrow[c] for c in on))
+                   for j, rrow in enumerate(rrows) if j not in matched)
+    return out
+
+
+@given(keyed_tables(), st.sampled_from(["inner", "left", "outer"]))
+@settings(max_examples=100)
+def test_merge_matches_oracle(pair, how):
+    left, right = pair
+    merged = left.merge(right, on=["id_", "attribute"], how=how)
+    assert merged.to_rows() == oracle_merge(left, right,
+                                            ["id_", "attribute"], how)
+
+
+@given(keyed_tables())
+@settings(max_examples=50)
+def test_single_key_merge_matches_oracle(pair):
+    left, right = pair
+    merged = left.merge(right, on="id_", how="inner")
+    expected = oracle_merge(
+        left.rename({"attribute": "attr"}),
+        right.rename({"attribute": "attr"}), ["id_"], "inner")
+    renamed = [{("attribute_x" if k == "attr_x" else
+                 "attribute_y" if k == "attr_y" else k): v
+                for k, v in row.items()} for row in expected]
+    assert merged.to_rows() == renamed
+
+
+@given(keyed_tables())
+@settings(max_examples=50)
+def test_outer_merge_loses_no_row(pair):
+    """Every left and right row appears in at least one outer-join row."""
+    left, right = pair
+    merged = left.merge(right, on=["id_", "attribute"], how="outer")
+    inner = left.merge(right, on=["id_", "attribute"], how="inner")
+    left_keys = {tuple(r[c] for c in ("id_", "attribute"))
+                 for r in left.to_rows()}
+    right_keys = {tuple(r[c] for c in ("id_", "attribute"))
+                  for r in right.to_rows()}
+    merged_keys = {tuple(r[c] for c in ("id_", "attribute"))
+                   for r in merged.to_rows()}
+    assert merged_keys == left_keys | right_keys
+    assert merged.n_rows >= max(left.n_rows, right.n_rows, inner.n_rows)
+
+
+@st.composite
+def grouped_tables(draw, max_rows=10):
+    n = draw(st.integers(1, max_rows))
+    return Table({
+        "key": draw(st.lists(key_cell, min_size=n, max_size=n)),
+        "num": draw(st.lists(st.one_of(st.none(), st.integers(-20, 20)),
+                             min_size=n, max_size=n)),
+    })
+
+
+def oracle_groups(table, key):
+    """Key tuple -> row-index list, in first-seen order (dicts preserve
+    insertion order, matching the GroupBy contract)."""
+    groups = {}
+    for i, row in enumerate(table.to_rows()):
+        groups.setdefault((row[key],), []).append(i)
+    return groups
+
+
+ORACLE_AGGS = {
+    "count": len,
+    "sum": lambda vs: sum(v for v in vs if v is not None),
+    "min": lambda vs: min((v for v in vs if v is not None), default=None),
+    "max": lambda vs: max((v for v in vs if v is not None), default=None),
+    "mean": lambda vs: (sum(v for v in vs if v is not None)
+                        / sum(1 for v in vs if v is not None)
+                        if any(v is not None for v in vs) else None),
+    "first": lambda vs: vs[0],
+    "last": lambda vs: vs[-1],
+    "nunique": lambda vs: len(set(vs)),
+}
+
+
+@given(grouped_tables(), st.sampled_from(sorted(ORACLE_AGGS)))
+@settings(max_examples=100)
+def test_groupby_agg_matches_oracle(table, agg):
+    result = table.groupby("key").agg({"num": agg})
+    nums = table.column("num").values
+    expected_keys, expected_vals = [], []
+    for key, indices in oracle_groups(table, "key").items():
+        expected_keys.append(key[0])
+        expected_vals.append(ORACLE_AGGS[agg]([nums[i] for i in indices]))
+    assert list(result.column("key").values) == expected_keys
+    assert list(result.column("num").values) == expected_vals
+
+
+@given(grouped_tables())
+@settings(max_examples=50)
+def test_groupby_partitions_rows(table):
+    """Group index lists are a partition of range(n_rows)."""
+    indices = table.groupby("key").group_indices()
+    flat = [i for ix in indices.values() for i in ix]
+    assert sorted(flat) == list(range(table.n_rows))
+    assert list(indices) == list(oracle_groups(table, "key"))
+
+
+@given(grouped_tables())
+@settings(max_examples=50)
+def test_groupby_then_merge_round_trip(table):
+    """Joining per-group sums back onto the table gives every row the
+    sum of its own group -- groupby and join agree with each other."""
+    sums = table.groupby("key").sum("num", name="group_sum")
+    joined = table.merge(sums, on="key", how="left")
+    assert joined.n_rows == table.n_rows
+    groups = oracle_groups(table, "key")
+    nums = table.column("num").values
+    for row in joined.to_rows():
+        expected = sum(nums[i] for i in groups[(row["key"],)]
+                       if nums[i] is not None)
+        assert row["group_sum"] == expected
