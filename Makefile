@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test test-equivalence test-chaos bench bench-smoke bench-bucketing bench-dedup bench-full report examples clean
+.PHONY: install test test-equivalence test-chaos bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-full report examples clean
 
 install:
 	pip install -e .
@@ -41,6 +41,12 @@ bench-bucketing:
 # Dedup-inference speedup gate alone (writes BENCH_dedup_infer.json).
 bench-dedup:
 	pytest benchmarks/test_dedup_bench.py -m bench_smoke -q
+
+# Work-plane + precision speedup gates alone: fused LSTM level >= 1.4x
+# at 2 workers (monotone at 4) and float32 inference faster than the
+# float64 graph forward (writes BENCH_parallel.json).
+bench-parallel:
+	pytest benchmarks/test_parallel_bench.py -m bench_smoke -q
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

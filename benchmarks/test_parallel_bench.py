@@ -1,0 +1,194 @@
+"""Work-plane and precision benchmark and regression gate.
+
+Times one fused LSTM level (forward + backward) on a skewed-length batch
+with the kernel work plane off versus 2 and 4 workers.  On a skewed
+batch the plan puts the short majority in groups whose time loops stop
+early instead of being dragged through the long tail's steps, so the
+plane pays off even on a single core; multi-core hosts additionally
+overlap the groups.  The gates: 2 workers at least 1.4x over serial, and
+4 workers still above that bar without collapsing from the 2-worker
+speedup (monotone, no degradation).
+
+A second arm gates the reduced-precision path: float32
+``InferenceEngine.predict_proba`` must beat the float64 graph forward.
+
+``make bench-parallel`` runs this module alone; medians per arm and the
+speedups are recorded in ``benchmarks/results/BENCH_parallel.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.inference import InferenceEngine
+from repro.models import ModelConfig
+from repro.models.etsb_rnn import ETSBRNN
+from repro.nn.kernels import lstm_level
+from repro.nn.parallel import plan_groups, use_workers
+
+from .conftest import write_result
+
+SPEEDUP_GATE_2 = 1.4
+#: 4 workers must also clear the absolute gate and retain this fraction
+#: of the 2-worker speedup (oversubscribed single-core hosts pay some
+#: extra thread overhead at 4; "monotone" means no collapse, not zero
+#: scheduling cost).
+MONOTONE_FRACTION = 0.75
+PRECISION_GATE = 1.0
+
+#: Skewed-length regime: most rows short, a long tail at full width.
+BATCH = 256
+MAX_LENGTH = 48
+D_IN = 16
+UNITS = 64
+SHORT_FRACTION = 0.92
+
+REPS = 8
+ROUNDS = 4
+
+INFER_CONFIG = ModelConfig(char_embed_dim=16, value_units=32, num_layers=2,
+                           attr_embed_dim=8, attr_units=8,
+                           length_dense_units=8, head_units=16)
+INFER_ROWS = 256
+INFER_MAX_LEN = 24
+INFER_VOCAB = 60
+
+
+def _skewed_batch(seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = np.where(rng.random(BATCH) < SHORT_FRACTION,
+                       rng.integers(2, 9, size=BATCH),
+                       rng.integers(40, MAX_LENGTH + 1, size=BATCH))
+    mask = np.arange(MAX_LENGTH)[None, :] < lengths[:, None]
+    x = rng.normal(size=(BATCH, MAX_LENGTH, D_IN))
+    w_x = 0.5 * rng.normal(size=(D_IN, 4 * UNITS))
+    w_h = 0.5 * rng.normal(size=(UNITS, 4 * UNITS))
+    b_h = 0.1 * rng.normal(size=(4 * UNITS,))
+    return (x, w_x, w_h, b_h), mask, lengths
+
+
+def _level_seconds(arrays, mask, workers, reps):
+    """Median seconds of one forward+backward at a worker count."""
+    x_np, w_x_np, w_h_np, b_h_np = arrays
+    times = []
+    with use_workers(workers):
+        for _ in range(reps):
+            x = Tensor(x_np, requires_grad=True)
+            w_x = Tensor(w_x_np, requires_grad=True)
+            w_h = Tensor(w_h_np, requires_grad=True)
+            b_h = Tensor(b_h_np, requires_grad=True)
+            start = time.perf_counter()
+            out = lstm_level(x, w_x, w_h, b_h, mask=mask)
+            (out * out).sum().backward()
+            times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def _unique_features(rng):
+    lengths = rng.integers(1, INFER_MAX_LEN + 1, size=INFER_ROWS)
+    values = np.zeros((INFER_ROWS, INFER_MAX_LEN), dtype=np.int64)
+    for i, ell in enumerate(lengths):
+        values[i, :ell] = rng.integers(1, INFER_VOCAB, size=ell)
+    values[:, 0] = np.arange(INFER_ROWS) % (INFER_VOCAB - 1) + 1
+    return {
+        "values": values,
+        "attributes": rng.integers(1, 4, size=INFER_ROWS),
+        "length_norm": (lengths / INFER_MAX_LEN).reshape(-1, 1),
+    }
+
+
+@pytest.mark.bench_smoke
+def test_parallel_plane_speedup_smoke():
+    """Gates: >= 1.4x at 2 workers and monotone through 4 workers.
+
+    Arms are timed in interleaved serial/2-worker/4-worker rounds and
+    compared by the median per-round ratio, so machine-speed drift
+    cancels out.  The plan is a pure function of the mask, so every arm
+    runs the identical group split -- the measurement isolates the
+    plane's scheduling and width trimming.
+    """
+    arrays, mask, lengths = _skewed_batch()
+    groups = plan_groups(mask)
+
+    _level_seconds(arrays, mask, 0, 2)  # warm up scratch + pool
+    _level_seconds(arrays, mask, 2, 2)
+    _level_seconds(arrays, mask, 4, 2)
+    rounds = []
+    for _ in range(ROUNDS):
+        serial = _level_seconds(arrays, mask, 0, REPS)
+        two = _level_seconds(arrays, mask, 2, REPS)
+        four = _level_seconds(arrays, mask, 4, REPS)
+        rounds.append((serial, two, four))
+
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    speedup_2 = median([s / t for s, t, _ in rounds])
+    speedup_4 = median([s / f for s, _, f in rounds])
+
+    counts, edges = np.histogram(lengths, bins=8, range=(1, MAX_LENGTH + 1))
+    report = {
+        "benchmark": "work-plane fused LSTM level forward+backward",
+        "gates": {"speedup_2_workers": SPEEDUP_GATE_2,
+                  "monotone_fraction_4_workers": MONOTONE_FRACTION,
+                  "float32_inference": PRECISION_GATE},
+        "batch": {
+            "batch": BATCH, "max_length": MAX_LENGTH,
+            "d_in": D_IN, "units": UNITS,
+            "short_fraction": SHORT_FRACTION,
+            "n_groups": len(groups),
+            "group_sizes": [int(len(g)) for g in groups],
+            "length_histogram": {
+                "bin_edges": [int(e) for e in edges],
+                "counts": [int(c) for c in counts],
+            },
+        },
+        "level": {
+            "serial_ms": round(median([s for s, _, _ in rounds]) * 1e3, 3),
+            "workers2_ms": round(median([t for _, t, _ in rounds]) * 1e3, 3),
+            "workers4_ms": round(median([f for _, _, f in rounds]) * 1e3, 3),
+            "speedup_2_workers": round(speedup_2, 2),
+            "speedup_4_workers": round(speedup_4, 2),
+        },
+    }
+
+    model = ETSBRNN(INFER_VOCAB, 4, INFER_CONFIG, np.random.default_rng(0))
+    model.eval()
+    features = _unique_features(np.random.default_rng(1))
+    engine = InferenceEngine(model, cache=None)
+    engine.predict_proba(features)  # warm up both paths
+    engine.predict_proba(features, precision="float32")
+    pairs = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        engine.predict_proba(features)
+        f64 = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.predict_proba(features, precision="float32")
+        f32 = time.perf_counter() - start
+        pairs.append((f64, f32))
+    precision_speedup = median([f64 / f32 for f64, f32 in pairs])
+    report["inference"] = {
+        "rows": INFER_ROWS,
+        "float64_ms": round(median([p[0] for p in pairs]) * 1e3, 3),
+        "float32_ms": round(median([p[1] for p in pairs]) * 1e3, 3),
+        "float32_speedup": round(precision_speedup, 2),
+    }
+
+    write_result("BENCH_parallel.json", json.dumps(report, indent=2))
+
+    failures = []
+    if speedup_2 < SPEEDUP_GATE_2:
+        failures.append(f"2 workers: {speedup_2:.2f}x < {SPEEDUP_GATE_2}x")
+    if speedup_4 < max(SPEEDUP_GATE_2, MONOTONE_FRACTION * speedup_2):
+        failures.append(
+            f"4 workers degrade: {speedup_4:.2f}x vs {speedup_2:.2f}x at 2")
+    if precision_speedup < PRECISION_GATE:
+        failures.append(f"float32 inference: {precision_speedup:.2f}x")
+    assert not failures, (
+        "parallel/precision gates failed: " + "; ".join(failures)
+        + " (see benchmarks/results/BENCH_parallel.json)")

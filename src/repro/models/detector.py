@@ -37,6 +37,7 @@ from repro.nn import (
     categorical_cross_entropy,
 )
 from repro.nn.losses import one_hot
+from repro.nn.lowp import PRECISION_MODES
 from repro.nn.module import Module
 from repro.sampling import DiverSet, Sampler
 from repro.table import Table
@@ -134,6 +135,14 @@ class ErrorDetector:
     prediction_cache_size:
         Capacity of the cross-call :class:`~repro.inference.PredictionCache`
         shared by every prediction this detector serves.
+    inference_workers:
+        Worker count for prediction (0 = serial).  Thread workers split
+        each forward's length groups across the kernel work plane;
+        predictions stay bit-identical at any count.
+    inference_precision:
+        ``"float64"`` (default, the reference), ``"float32"`` or
+        ``"int8"`` -- the reduced-precision fast inference mode
+        (tolerance-gated, requires ``deduplicate``).
     """
 
     def __init__(self, architecture: str = "etsb",
@@ -144,11 +153,24 @@ class ErrorDetector:
                  seed: int = 0,
                  extra_callbacks: Sequence[Callback] = (),
                  deduplicate: bool = True,
-                 prediction_cache_size: int = 65536):
+                 prediction_cache_size: int = 65536,
+                 inference_workers: int = 0,
+                 inference_precision: str = "float64"):
         if architecture not in ARCHITECTURES:
             raise ConfigurationError(
                 f"architecture must be one of {ARCHITECTURES}, got {architecture!r}"
             )
+        if inference_precision not in PRECISION_MODES:
+            raise ConfigurationError(
+                f"inference_precision must be one of {PRECISION_MODES}, "
+                f"got {inference_precision!r}")
+        if not deduplicate and inference_precision != "float64":
+            raise ConfigurationError(
+                "reduced-precision inference requires the dedup engine; "
+                "drop deduplicate=False or use float64")
+        if inference_workers < 0:
+            raise ConfigurationError(
+                f"inference_workers must be >= 0, got {inference_workers}")
         self.architecture = architecture
         self.sampler = sampler if sampler is not None else DiverSet()
         self.n_label_tuples = n_label_tuples
@@ -158,6 +180,8 @@ class ErrorDetector:
         self.seed = seed
         self.extra_callbacks = tuple(extra_callbacks)
         self.deduplicate = deduplicate
+        self.inference_workers = inference_workers
+        self.inference_precision = inference_precision
         self.prediction_cache = PredictionCache(capacity=prediction_cache_size)
         self.model: Module | None = None
         self.prepared: PreparedData | None = None
@@ -314,7 +338,9 @@ class ErrorDetector:
             raise NotFittedError("fit() has not been called")
         probabilities = self.trainer.predict_proba(
             features, lengths=lengths, dedup=dedup,
-            deduplicate=self.deduplicate)
+            deduplicate=self.deduplicate,
+            workers=self.inference_workers,
+            precision=self.inference_precision)
         return probabilities.argmax(axis=1).astype(np.int64)
 
     @property
@@ -365,7 +391,9 @@ class ErrorDetector:
         probabilities = trainer.predict_proba(encoded.features,
                                               lengths=encoded.lengths,
                                               dedup=encoded.dedup,
-                                              deduplicate=self.deduplicate)
+                                              deduplicate=self.deduplicate,
+                                              workers=self.inference_workers,
+                                              precision=self.inference_precision)
         predictions = probabilities.argmax(axis=1)
         return [
             (int(tid), attr)

@@ -42,6 +42,7 @@ Kernels
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -49,6 +50,7 @@ import numpy as np
 from repro import telemetry
 from repro.autograd.function import Function, FunctionCtx
 from repro.errors import ShapeError
+from repro.nn.parallel.plane import parallel_level_active, parallel_level
 
 __all__ = [
     "RNNLevelFunction",
@@ -175,16 +177,18 @@ def _tail_grad(dh: np.ndarray, grad: np.ndarray, width: int,
         dh += grad[:, t]
 
 
-class _ScratchPool:
-    """Per-key scratch arrays reused across kernel calls.
+class _ScratchPool(threading.local):
+    """Per-thread, per-key scratch arrays reused across kernel calls.
 
     Fresh large allocations are page-fault bound on this workload, so the
     kernels stage their *call-local* intermediates (input projection, BPTT
     derivative tables, pre-activation gradients) in warm buffers instead.
     An array from the pool is only valid until the next ``get`` with the
-    same key; nothing handed to the autograd graph (outputs, returned
-    gradients, ``ctx`` state) may ever live here.  Kernel calls never
-    nest, so sequential reuse is safe.
+    same key *on the same thread*; nothing handed to the autograd graph
+    (outputs, returned gradients, ``ctx`` state) may ever live here.
+    Kernel calls never nest on a thread, so sequential reuse is safe, and
+    each worker of the parallel plane gets its own buffers -- concurrent
+    kernel calls never alias.
     """
 
     def __init__(self) -> None:
@@ -234,8 +238,16 @@ def _projection(x: np.ndarray, w_x: np.ndarray, b_h: np.ndarray,
                 key: str) -> np.ndarray:
     """``x @ w_x + b`` for the whole sequence, staged in scratch."""
     batch, n_steps, _ = x.shape
-    proj = np.matmul(x, w_x, out=_scratch.get(key, (batch, n_steps,
-                                                    w_x.shape[-1])))
+    proj = _scratch.get(key, (batch, n_steps, w_x.shape[-1]))
+    if n_steps == 1:
+        # The batched (batch, 1, in) @ (in, out) matmul runs one GEMV per
+        # row, whose accumulation can differ from the m >= 2 GEMM path by
+        # an ulp.  One flat (batch, in) GEMM keeps a row's projection
+        # bits identical to its value inside any wider chunk, so results
+        # cannot depend on how rows were grouped into batches.
+        np.matmul(x[:, 0], w_x, out=proj[:, 0])
+    else:
+        np.matmul(x, w_x, out=proj)
     proj += b_h
     return proj
 
@@ -331,6 +343,19 @@ class RNNLevelFunction(Function):
     @staticmethod
     def backward(ctx: FunctionCtx, grad: np.ndarray
                  ) -> tuple[np.ndarray | None, ...]:
+        (dproj,) = RNNLevelFunction._local_grads(ctx, grad)
+        return RNNLevelFunction._finish(ctx, dproj)
+
+    @staticmethod
+    def _local_grads(ctx: FunctionCtx, grad: np.ndarray
+                     ) -> tuple[np.ndarray, ...]:
+        """Row-local half of the backward: the BPTT time loop.
+
+        Produces the pre-activation gradient ``dproj`` (scratch) over the
+        live window.  Every operation here is row-wise, so the parallel
+        plane can run it per length group and assemble the groups' results
+        into the full-batch ``dproj`` the serial path would have built.
+        """
         states, mask, order = ctx.states, ctx.mask, ctx.order
         w_h, width = ctx.w_h, ctx.width
         batch, _, units = states.shape
@@ -360,10 +385,21 @@ class RNNLevelFunction(Function):
                 live = mask[:, t:t + 1]
                 dpre *= live
                 dh = dpre @ w_h_t + dh * ~live
+        return (dproj,)
 
+    @staticmethod
+    def _finish(ctx: FunctionCtx, dproj: np.ndarray
+                ) -> tuple[np.ndarray | None, ...]:
+        """Batch-level tail: weight and input gradients from ``dproj``.
+
+        The exact GEMM expressions of the serial backward, so calling this
+        on an assembled full-batch ``dproj`` (parallel plane) reproduces
+        the serial gradients.
+        """
+        states_w = ctx.states[:, :ctx.width]
         if ctx.needs_input_grad[2]:
             dw_h = _recurrent_weight_grad(
-                _shift_prev(states_w, order, "rnn.prev"), dproj)
+                _shift_prev(states_w, ctx.order, "rnn.prev"), dproj)
         else:
             dw_h = None
         dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx, ctx.x_shape)
@@ -437,10 +473,16 @@ class LSTMLevelFunction(Function):
     @staticmethod
     def backward(ctx: FunctionCtx, grad: np.ndarray
                  ) -> tuple[np.ndarray | None, ...]:
+        (dproj,) = LSTMLevelFunction._local_grads(ctx, grad)
+        return LSTMLevelFunction._finish(ctx, dproj)
+
+    @staticmethod
+    def _local_grads(ctx: FunctionCtx, grad: np.ndarray
+                     ) -> tuple[np.ndarray, ...]:
+        """Row-local half of the backward (see ``RNNLevelFunction``)."""
         h_seq, c_seq, acts, tanh_c = ctx.h_seq, ctx.c_seq, ctx.acts, ctx.tanh_c
         mask, order, w_h, width = ctx.mask, ctx.order, ctx.w_h, ctx.width
         batch, _, units = h_seq.shape
-        h_seq_w = h_seq[:, :width]
 
         # Whole-sequence precomputation: sigmoid'/tanh' factors and the
         # previous-state sequences (big vectorized ops beat per-step ones),
@@ -488,10 +530,16 @@ class LSTMLevelFunction(Function):
             dgates[:, 3 * units:] = do * sig_deriv[:, t, 3 * units:]
             dh = dgates @ w_h_t + dh_dead
             dc = dc_raw * f + dc_dead
+        return (dproj,)
 
+    @staticmethod
+    def _finish(ctx: FunctionCtx, dproj: np.ndarray
+                ) -> tuple[np.ndarray | None, ...]:
+        """Batch-level tail (see ``RNNLevelFunction._finish``)."""
+        h_seq_w = ctx.h_seq[:, :ctx.width]
         if ctx.needs_input_grad[2]:
             dw_h = _recurrent_weight_grad(
-                _shift_prev(h_seq_w, order, "lstm.hprev"), dproj)
+                _shift_prev(h_seq_w, ctx.order, "lstm.hprev"), dproj)
         else:
             dw_h = None
         dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx, ctx.x_shape)
@@ -547,6 +595,20 @@ class GRULevelFunction(Function):
     @staticmethod
     def backward(ctx: FunctionCtx, grad: np.ndarray
                  ) -> tuple[np.ndarray | None, ...]:
+        dproj, drec_seq = GRULevelFunction._local_grads(ctx, grad)
+        return GRULevelFunction._finish(ctx, dproj, drec_seq)
+
+    @staticmethod
+    def _local_grads(ctx: FunctionCtx, grad: np.ndarray
+                     ) -> tuple[np.ndarray, ...]:
+        """Row-local half of the backward (see ``RNNLevelFunction``).
+
+        Also builds the recurrent-projection gradient ``drec_seq`` (the
+        candidate slice of ``dproj`` re-scaled by the reset gate), which
+        depends on the row-local gate activations and so belongs to the
+        group-local half; ``None`` when the recurrent weight needs no
+        gradient.
+        """
         states, gates, rec_n = ctx.states, ctx.gates, ctx.rec_n
         mask, order, w_h, width = ctx.mask, ctx.order, ctx.w_h, ctx.width
         batch, _, units = states.shape
@@ -606,7 +668,19 @@ class GRULevelFunction(Function):
             np.copyto(drec_seq, dproj)
             np.multiply(dproj[:, :, 2 * units:], gates[:, :, units:2 * units],
                         out=drec_seq[:, :, 2 * units:])
-            dw_h = _recurrent_weight_grad(h_prev_seq, drec_seq)
+        else:
+            drec_seq = None
+        return dproj, drec_seq
+
+    @staticmethod
+    def _finish(ctx: FunctionCtx, dproj: np.ndarray,
+                drec_seq: np.ndarray | None
+                ) -> tuple[np.ndarray | None, ...]:
+        """Batch-level tail (see ``RNNLevelFunction._finish``)."""
+        if ctx.needs_input_grad[2]:
+            dw_h = _recurrent_weight_grad(
+                _shift_prev(ctx.states[:, :ctx.width], ctx.order, "gru.prev"),
+                drec_seq)
         else:
             dw_h = None
         dx, dw_x, db = _input_grads(dproj, ctx.x, ctx.w_x, ctx, ctx.x_shape)
@@ -664,19 +738,30 @@ class DenseSoftmaxBCEFunction(Function):
 
 
 # -- functional wrappers --------------------------------------------------------
+#
+# Each wrapper dispatches to the parallel work plane when it is enabled
+# (``repro.nn.parallel``) and the batch is worth splitting; otherwise the
+# kernel runs inline as a single autograd node.
 
 def rnn_level(x, w_x, w_h, b_h, mask=None, reverse=False):
     """Fused tanh-RNN level; returns the state sequence ``(B, T, units)``."""
+    if parallel_level_active(mask):
+        return parallel_level(RNNLevelFunction, x, w_x, w_h, b_h, mask, reverse)
     return RNNLevelFunction.apply(x, w_x, w_h, b_h, mask, reverse)
 
 
 def lstm_level(x, w_x, w_h, b_h, mask=None, reverse=False):
     """Fused LSTM level; returns the hidden sequence ``(B, T, units)``."""
+    if parallel_level_active(mask):
+        return parallel_level(LSTMLevelFunction, x, w_x, w_h, b_h, mask,
+                              reverse)
     return LSTMLevelFunction.apply(x, w_x, w_h, b_h, mask, reverse)
 
 
 def gru_level(x, w_x, w_h, b_h, mask=None, reverse=False):
     """Fused GRU level; returns the state sequence ``(B, T, units)``."""
+    if parallel_level_active(mask):
+        return parallel_level(GRULevelFunction, x, w_x, w_h, b_h, mask, reverse)
     return GRULevelFunction.apply(x, w_x, w_h, b_h, mask, reverse)
 
 

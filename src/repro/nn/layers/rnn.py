@@ -260,15 +260,23 @@ class StackedRNN(Module):
         for level, cell in enumerate(self.cells):
             level_started = time.perf_counter() if tele else 0.0
             # Batch the input projection over all time steps: one big
-            # matmul instead of one per step.
-            projected = sequence @ cell.w_x + cell.b_h
+            # matmul instead of one per step.  Width-1 sequences use a
+            # flat 2-d matmul: the batched (batch, 1, in) form runs one
+            # BLAS GEMV per row, whose bits can differ from the m >= 2
+            # GEMM path, and the fused kernels do the same (see
+            # kernels._projection) so the backends stay bit-identical.
+            if width == 1:
+                projected = sequence[:, 0, :] @ cell.w_x + cell.b_h
+            else:
+                projected = sequence @ cell.w_x + cell.b_h
             state = initial = cell.initial_state(batch_size)
             states = [None] * width
             for t in time_order:
                 if not any_live[t]:
                     states[t] = state
                     continue
-                new_state = cell.step_projected(projected[:, t, :], state)
+                proj_t = projected if width == 1 else projected[:, t, :]
+                new_state = cell.step_projected(proj_t, state)
                 if not all_live[t]:
                     new_state = where(mask[:, t:t + 1], new_state, state)
                 state = new_state

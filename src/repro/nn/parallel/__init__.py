@@ -1,0 +1,53 @@
+"""Multi-threaded work plane for the fused sequence kernels.
+
+:mod:`plane`
+    Splits a batch's length groups across a persistent worker pool inside
+    one forward/backward, with a deterministic reduction that keeps
+    gradients bit-for-bit reproducible at any worker count.
+:mod:`shm`
+    Zero-copy weight broadcast over ``multiprocessing.shared_memory``,
+    versioned by ``Module.weights_version``.
+:mod:`procpool`
+    A persistent process pool whose workers attach the shared weight
+    segment instead of unpickling weights per task.
+"""
+
+from repro.nn.parallel.plane import (
+    MAX_GROUPS,
+    MIN_GROUP_ROWS,
+    MIN_PARALLEL_ROWS,
+    WORKERS_ENV_VAR,
+    get_workers,
+    parallel_level,
+    parallel_level_active,
+    plan_groups,
+    reset_workers,
+    set_workers,
+    shutdown_pool,
+    use_workers,
+)
+from repro.nn.parallel.shm import (
+    SharedWeights,
+    attach_segment,
+    live_segment_names,
+)
+from repro.nn.parallel.procpool import SharedModelPool
+
+__all__ = [
+    "MAX_GROUPS",
+    "MIN_GROUP_ROWS",
+    "MIN_PARALLEL_ROWS",
+    "WORKERS_ENV_VAR",
+    "SharedWeights",
+    "SharedModelPool",
+    "attach_segment",
+    "get_workers",
+    "live_segment_names",
+    "parallel_level",
+    "parallel_level_active",
+    "plan_groups",
+    "reset_workers",
+    "set_workers",
+    "shutdown_pool",
+    "use_workers",
+]

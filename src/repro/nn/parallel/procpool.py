@@ -1,0 +1,112 @@
+"""Process pool scoring chunks against shared-memory weights.
+
+:class:`SharedModelPool` fans feature chunks out to forked worker
+processes.  The model object itself is never pickled per task: workers
+inherit the model skeleton through ``fork`` when the pool starts, and a
+task carries only the :class:`~repro.nn.parallel.shm.SharedWeights`
+manifest plus its chunk of features.  A worker reloads weights from the
+shared segment only when the manifest version differs from the one it
+last applied, so steady-state serving moves zero weight bytes per task.
+
+Chunk results are reassembled by submission index, so the output is
+independent of worker scheduling -- and each chunk is evaluated with the
+same numpy code on the same values as the serial loop, so the assembled
+probabilities are byte-identical to serial evaluation of the same chunks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.errors import ConfigurationError
+from repro.faults import inject
+from repro.nn.parallel.shm import SharedWeights, attach_segment
+
+__all__ = ["SharedModelPool"]
+
+# Inherited by forked workers; set immediately before the pool's workers
+# are spawned.  One active pool per process (the serving engine's case).
+_fork_model = None
+_worker_version: int | None = None
+
+
+def _score_chunk(manifest: dict, chunk: dict[str, np.ndarray],
+                 chunk_index: int) -> np.ndarray:
+    """Worker-side task: refresh weights if stale, then run the forward."""
+    global _worker_version
+    inject("parallel.task", chunk_index=chunk_index)
+    if manifest["version"] != _worker_version:
+        segment, views = attach_segment(manifest)
+        try:
+            _fork_model.load_state_dict(views)
+        finally:
+            segment.close()
+        _worker_version = manifest["version"]
+    with no_grad():
+        return _fork_model(chunk).numpy()
+
+
+class SharedModelPool:
+    """Persistent fork-based pool bound to one model.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.nn.module.Module` to score with.  Workers get
+        a forked copy of its skeleton; weight updates flow through the
+        shared segment, not through task pickles.
+    workers:
+        Number of worker processes (>= 1).
+    """
+
+    def __init__(self, model, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"SharedModelPool needs at least 1 worker, got {workers}")
+        self.model = model
+        self.workers = workers
+        self._weights = SharedWeights(model)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        global _fork_model
+        if self._pool is None:
+            _fork_model = self.model
+            context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=context)
+        return self._pool
+
+    def map_chunks(self, chunks: list[dict[str, np.ndarray]]
+                   ) -> list[np.ndarray]:
+        """Score feature chunks; results keep the submission order."""
+        manifest = self._weights.publish()
+        pool = self._ensure_pool()
+        futures = [pool.submit(_score_chunk, manifest, chunk, index)
+                   for index, chunk in enumerate(chunks)]
+        return [future.result() for future in futures]
+
+    @property
+    def segment_name(self) -> str | None:
+        """Name of the live weight segment (``None`` before first use)."""
+        return self._weights.segment_name
+
+    def shutdown(self) -> None:
+        """Stop the workers and unlink the weight segment (idempotent)."""
+        global _fork_model
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            if _fork_model is self.model:
+                _fork_model = None
+        self._weights.close()
+
+    def __enter__(self) -> "SharedModelPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,208 @@
+"""Zero-copy weight broadcast over ``multiprocessing.shared_memory``.
+
+:class:`SharedWeights` publishes a module's full ``state_dict`` -- every
+parameter and buffer, in the module's deterministic traversal order --
+into one shared-memory segment described by a small picklable manifest
+(name, offset, shape, dtype per entry).  Worker processes
+:func:`attach_segment` and read the weights in place: the only per-task
+payload is the manifest, not the weight bytes, which replaces per-task
+weight pickling in process pools.
+
+The segment is versioned by ``Module.weights_version``: republishing is a
+no-op while the version is unchanged, and a bumped version atomically
+replaces the segment (publish new, unlink old).  Segments are always
+unlinked -- on :meth:`SharedWeights.close`, on interpreter exit (a module
+registry backs an ``atexit`` sweep), and on abnormal exit out of a
+publish (the ``parallel.broadcast`` fault-injection point sits inside the
+publish's cleanup scope, so the chaos suite can prove kills don't leak).
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import os
+import threading
+from multiprocessing import shared_memory
+
+import _posixshmem
+
+import numpy as np
+
+from repro import telemetry
+from repro.faults import inject
+
+__all__ = ["SharedWeights", "attach_segment", "live_segment_names"]
+
+_live_segments: dict[str, shared_memory.SharedMemory] = {}
+_live_lock = threading.Lock()
+
+
+def _track(segment: shared_memory.SharedMemory) -> None:
+    with _live_lock:
+        _live_segments[segment.name] = segment
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    with _live_lock:
+        _live_segments.pop(segment.name, None)
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of segments this process currently owns (for leak tests)."""
+    with _live_lock:
+        return tuple(_live_segments)
+
+
+def _cleanup_all() -> None:
+    with _live_lock:
+        segments = list(_live_segments.values())
+        _live_segments.clear()
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+atexit.register(_cleanup_all)
+
+
+class SharedWeights:
+    """Versioned shared-memory mirror of one module's weights.
+
+    Parameters
+    ----------
+    module:
+        The :class:`~repro.nn.module.Module` whose ``state_dict`` is
+        broadcast.  ``weights_version`` decides when the mirror is stale.
+    """
+
+    def __init__(self, module) -> None:
+        self._module = module
+        self._segment: shared_memory.SharedMemory | None = None
+        self._manifest: dict | None = None
+        self._version: int | None = None
+
+    @property
+    def segment_name(self) -> str | None:
+        """Name of the currently published segment (``None`` when closed)."""
+        return None if self._segment is None else self._segment.name
+
+    def publish(self) -> dict:
+        """Return the manifest, (re)publishing only on a version bump.
+
+        The manifest is a plain picklable dict::
+
+            {"name": <segment name>, "version": <weights_version>,
+             "n_bytes": <payload size>,
+             "entries": [(state_key, offset, shape, dtype_str), ...]}
+        """
+        version = self._module.weights_version
+        if self._segment is not None and version == self._version:
+            return self._manifest
+
+        arrays: list[tuple[str, np.ndarray]] = []
+        for name, param in self._module.named_parameters():
+            arrays.append((name, np.ascontiguousarray(param.data)))
+        for name, buf in self._module.named_buffers():
+            arrays.append((f"buffer:{name}", np.ascontiguousarray(buf)))
+        entries = []
+        offset = 0
+        for name, array in arrays:
+            entries.append((name, offset, array.shape, str(array.dtype)))
+            offset += array.nbytes
+
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=max(offset, 1))
+        _track(segment)
+        try:
+            inject("parallel.broadcast", version=version, n_bytes=offset)
+            for (name, start, shape, dtype), (_, array) in zip(entries,
+                                                               arrays):
+                view = np.ndarray(shape, dtype=dtype, buffer=segment.buf,
+                                  offset=start)
+                view[...] = array
+        except BaseException:
+            # Covers WorkerKilled from the chaos suite: an aborted publish
+            # must not leak its half-written segment.
+            _untrack(segment)
+            segment.close()
+            segment.unlink()
+            raise
+
+        self.close()  # unlink the previous version, if any
+        self._segment = segment
+        self._version = version
+        self._manifest = {"name": segment.name, "version": version,
+                          "n_bytes": offset, "entries": entries}
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter("parallel.shm_broadcasts").inc()
+            registry.counter("parallel.shm_broadcast_bytes").inc(offset)
+        return self._manifest
+
+    def close(self) -> None:
+        """Unlink the published segment (idempotent)."""
+        segment, self._segment = self._segment, None
+        self._manifest = self._version = None
+        if segment is not None:
+            _untrack(segment)
+            segment.close()
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+    def __enter__(self) -> "SharedWeights":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _AttachedSegment:
+    """A reader's mapping of a published segment.
+
+    Deliberately bypasses :class:`multiprocessing.shared_memory` for the
+    attach: its constructor registers every opened segment with the
+    resource tracker as if the opener owned it, which either tears down
+    the publisher's segment at reader exit or (after ``unregister``, with
+    a fork-shared tracker) corrupts the publisher's own registration.
+    Mapping the segment directly keeps readers invisible to the tracker;
+    only the publisher owns the name.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        fd = _posixshmem.shm_open(f"/{name}", os.O_RDWR, mode=0o600)
+        try:
+            size = os.fstat(fd).st_size
+            self.buf = mmap.mmap(fd, size)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        """Drop the mapping (idempotent); never unlinks the name."""
+        if self.buf is not None:
+            self.buf.close()
+            self.buf = None
+
+
+def attach_segment(manifest: dict) -> tuple[_AttachedSegment,
+                                            dict[str, np.ndarray]]:
+    """Attach a published segment; returns ``(segment, state views)``.
+
+    The views are zero-copy ndarrays over the shared buffer, keyed like
+    ``state_dict`` output, so ``module.load_state_dict(views)`` restores
+    the broadcast weights directly.  The caller must ``close()`` the
+    segment after use (never unlink -- the publisher owns the name).
+    """
+    segment = _AttachedSegment(manifest["name"])
+    views = {
+        name: np.ndarray(shape, dtype=dtype, buffer=segment.buf,
+                         offset=offset)
+        for name, offset, shape, dtype in manifest["entries"]
+    }
+    return segment, views

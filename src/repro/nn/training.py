@@ -36,6 +36,7 @@ from repro.inference.index import DedupIndex
 from repro.nn.callbacks import Callback, History
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer, clip_gradients
+from repro.nn.parallel import use_workers
 
 Features = dict[str, np.ndarray]
 
@@ -484,7 +485,9 @@ class Trainer:
     def predict_proba(self, features: Features, batch_size: int = 256,
                       lengths: np.ndarray | None = None,
                       dedup: DedupIndex | None = None,
-                      deduplicate: bool = True) -> np.ndarray:
+                      deduplicate: bool = True,
+                      workers: int | None = None,
+                      precision: str | None = None) -> np.ndarray:
         """Class probabilities in eval mode, without recording gradients.
 
         With ``deduplicate=True`` (the default) the dedup-memoized fast
@@ -495,12 +498,29 @@ class Trainer:
         The result is bit-for-bit identical to the naive chunked forward.
         ``dedup`` supplies a precomputed unique-cell index (e.g.
         :attr:`~repro.dataprep.encoding.EncodedCells.dedup`).
+
+        ``workers`` and ``precision`` pass through to
+        :meth:`~repro.inference.engine.InferenceEngine.predict_proba`
+        (``None`` keeps the engine defaults).  The naive path supports
+        ``workers`` (the kernel work plane is chunking-agnostic) but only
+        float64 -- reduced precision lives behind the dedup engine's
+        tolerance-gated, precision-tagged cache.
         """
         self.model.eval()
         if deduplicate:
             self._engine.batch_size = batch_size
             return self._engine.predict_proba(features, lengths=lengths,
-                                              dedup=dedup)
+                                              dedup=dedup, workers=workers,
+                                              precision=precision)
+        if precision not in (None, "float64"):
+            raise ConfigurationError(
+                f"precision={precision!r} requires the dedup engine; "
+                "naive (deduplicate=False) prediction is float64 only")
+        if workers:
+            with use_workers(workers):
+                return predict_proba(self.model, features,
+                                     batch_size=batch_size,
+                                     lengths=lengths, deduplicate=False)
         return predict_proba(self.model, features, batch_size=batch_size,
                              lengths=lengths, deduplicate=False)
 

@@ -1,0 +1,208 @@
+"""The kernel work plane: plans, byte-identity, and scratch isolation.
+
+The plane's contract is that it is invisible in the numbers: the group
+plan is a pure function of the batch mask, forward states and gradients
+are byte-identical at every worker count, and the plane-off serial path
+produces the same values.  Scratch buffers are thread-local so the pool
+workers (and any embedding application threads) cannot corrupt each
+other's staging arrays.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.nn.kernels import gru_level, lstm_level, rnn_level
+from repro.nn.parallel import (
+    MAX_GROUPS,
+    MIN_GROUP_ROWS,
+    WORKERS_ENV_VAR,
+    get_workers,
+    plan_groups,
+    reset_workers,
+    set_workers,
+    use_workers,
+)
+
+LEVELS = {"rnn": (rnn_level, 1), "lstm": (lstm_level, 4),
+          "gru": (gru_level, 3)}
+
+
+def _skewed_mask(batch=12, n_steps=10, n_short=8, short_len=2):
+    lengths = np.full(batch, n_steps)
+    lengths[:n_short] = short_len
+    return np.arange(n_steps)[None, :] < lengths[:, None]
+
+
+def _level_inputs(mult, batch=12, n_steps=10, d_in=3, units=5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(batch, n_steps, d_in)), requires_grad=True)
+    w_x = Tensor(0.5 * rng.normal(size=(d_in, units * mult)),
+                 requires_grad=True)
+    w_h = Tensor(0.5 * rng.normal(size=(units, units * mult)),
+                 requires_grad=True)
+    b_h = Tensor(0.1 * rng.normal(size=(units * mult,)), requires_grad=True)
+    return x, w_x, w_h, b_h
+
+
+def _run(level, mult, workers, mask, reverse=False, seed=0):
+    """One forward+backward at a given worker count; returns raw bytes."""
+    x, w_x, w_h, b_h = _level_inputs(mult, batch=mask.shape[0],
+                                     n_steps=mask.shape[1], seed=seed)
+    with use_workers(workers):
+        out = level(x, w_x, w_h, b_h, mask=mask, reverse=reverse)
+        (out * out).sum().backward()
+    grads = tuple(t.grad.copy() for t in (x, w_x, w_h, b_h))
+    return out.data.copy(), grads
+
+
+class TestWorkerConfig:
+    def test_use_workers_restores_previous_value(self):
+        set_workers(3)
+        try:
+            with use_workers(1):
+                assert get_workers() == 1
+            assert get_workers() == 3
+        finally:
+            reset_workers()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_workers(-1)
+
+    def test_env_var_read_and_validated(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        reset_workers()
+        assert get_workers() == 2
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        reset_workers()
+        with pytest.raises(ConfigurationError):
+            get_workers()
+        monkeypatch.delenv(WORKERS_ENV_VAR)
+        reset_workers()
+        assert get_workers() == 0
+
+
+class TestPlanGroups:
+    def test_plan_covers_each_row_exactly_once(self):
+        groups = plan_groups(_skewed_mask())
+        rows = np.concatenate(groups)
+        assert sorted(rows.tolist()) == list(range(12))
+
+    def test_plan_respects_group_floor_and_cap(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            lengths = rng.integers(1, 25, size=rng.integers(8, 64))
+            mask = np.arange(24)[None, :] < lengths[:, None]
+            groups = plan_groups(mask)
+            assert 1 <= len(groups) <= MAX_GROUPS
+            assert all(len(g) >= MIN_GROUP_ROWS for g in groups)
+
+    def test_plan_ignores_worker_count(self):
+        mask = _skewed_mask()
+        plans = []
+        for workers in (1, 2, 4):
+            with use_workers(workers):
+                plans.append(plan_groups(mask))
+        reference = plans[0]
+        for plan in plans[1:]:
+            assert len(plan) == len(reference)
+            for got, want in zip(plan, reference):
+                np.testing.assert_array_equal(got, want)
+
+    def test_skewed_batch_splits(self):
+        assert len(plan_groups(_skewed_mask())) >= 2
+
+    def test_uniform_batch_stays_whole(self):
+        mask = np.ones((16, 10), dtype=bool)
+        assert len(plan_groups(mask)) == 1
+
+    def test_groups_are_length_sorted(self):
+        mask = _skewed_mask()
+        lengths = mask.sum(axis=1)
+        groups = plan_groups(mask)
+        maxes = [lengths[g].max() for g in groups]
+        assert maxes == sorted(maxes)
+
+
+@pytest.mark.equivalence
+class TestByteIdentity:
+    @pytest.mark.parametrize("cell", sorted(LEVELS))
+    @pytest.mark.parametrize("reverse", [False, True], ids=["fwd", "bwd"])
+    def test_identical_bytes_across_worker_counts(self, cell, reverse):
+        level, mult = LEVELS[cell]
+        mask = _skewed_mask()
+        out1, grads1 = _run(level, mult, 1, mask, reverse)
+        for workers in (2, 4):
+            out, grads = _run(level, mult, workers, mask, reverse)
+            assert out.tobytes() == out1.tobytes()
+            for got, want in zip(grads, grads1):
+                assert got.tobytes() == want.tobytes()
+
+    @pytest.mark.parametrize("cell", sorted(LEVELS))
+    @pytest.mark.parametrize("reverse", [False, True], ids=["fwd", "bwd"])
+    def test_plane_matches_serial_path(self, cell, reverse):
+        level, mult = LEVELS[cell]
+        mask = _skewed_mask()
+        out_off, grads_off = _run(level, mult, 0, mask, reverse)
+        out_on, grads_on = _run(level, mult, 2, mask, reverse)
+        # Serial padding steps may round-trip -0.0 where the plane zero
+        # fills; array_equal treats the two as equal values.
+        np.testing.assert_array_equal(out_on, out_off)
+        for got, want in zip(grads_on, grads_off):
+            np.testing.assert_array_equal(got, want)
+
+    def test_unsplit_plan_falls_back_to_serial_kernel(self):
+        level, mult = LEVELS["lstm"]
+        mask = np.ones((16, 6), dtype=bool)  # uniform: one-group plan
+        out_off, grads_off = _run(level, mult, 0, mask)
+        out_on, grads_on = _run(level, mult, 2, mask)
+        assert out_on.tobytes() == out_off.tobytes()
+        for got, want in zip(grads_on, grads_off):
+            assert got.tobytes() == want.tobytes()
+
+    def test_small_batches_bypass_the_plane(self):
+        level, mult = LEVELS["gru"]
+        mask = _skewed_mask(batch=6, n_short=4)  # below MIN_PARALLEL_ROWS
+        out_off, grads_off = _run(level, mult, 0, mask)
+        out_on, grads_on = _run(level, mult, 2, mask)
+        assert out_on.tobytes() == out_off.tobytes()
+        for got, want in zip(grads_on, grads_off):
+            assert got.tobytes() == want.tobytes()
+
+
+class TestScratchIsolation:
+    def test_concurrent_threads_do_not_corrupt_scratch(self):
+        """Two application threads hammer different shapes concurrently;
+        thread-local scratch keeps every result equal to a quiet run."""
+        level, mult = LEVELS["lstm"]
+        shapes = [(9, 7), (13, 5)]
+        masks = [np.ones(shape, dtype=bool) for shape in shapes]
+
+        def forward(mask, seed):
+            x, w_x, w_h, b_h = _level_inputs(
+                mult, batch=mask.shape[0], n_steps=mask.shape[1], seed=seed)
+            return level(x, w_x, w_h, b_h, mask=mask).data.copy()
+
+        references = [forward(mask, seed)
+                      for seed, mask in enumerate(masks)]
+        results = [[] for _ in masks]
+        barrier = threading.Barrier(len(masks))
+
+        def worker(index):
+            barrier.wait()
+            for _ in range(25):
+                results[index].append(forward(masks[index], index))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(masks))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for reference, outs in zip(references, results):
+            for out in outs:
+                np.testing.assert_array_equal(out, reference)

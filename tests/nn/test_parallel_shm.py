@@ -1,0 +1,172 @@
+"""Shared-memory weight broadcast: lifecycle, identity, and crash safety.
+
+``SharedWeights.publish`` is a zero-copy broadcast versioned by
+``Module.weights_version``: republishing an unchanged model is free, a
+version bump swaps the segment atomically, and every exit path --
+``close``, context-manager ``__exit__``, pool shutdown, even a simulated
+crash mid-publish -- must leave no segment behind in ``/dev/shm``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, WorkerKilled, use_plan
+from repro.models import ModelConfig
+from repro.models.etsb_rnn import ETSBRNN
+from repro.nn.parallel import (
+    SharedModelPool,
+    SharedWeights,
+    attach_segment,
+    live_segment_names,
+)
+
+VOCAB = 12
+N_ATTRS = 3
+MAX_LEN = 8
+TINY = ModelConfig(char_embed_dim=6, value_units=5, num_layers=1,
+                   attr_embed_dim=3, attr_units=3, length_dense_units=4,
+                   head_units=4)
+
+
+@pytest.fixture()
+def model():
+    m = ETSBRNN(VOCAB, N_ATTRS + 1, TINY, np.random.default_rng(3))
+    m.eval()
+    return m
+
+
+def _features(rng, n_rows=10):
+    lengths = rng.integers(1, MAX_LEN + 1, size=n_rows)
+    values = np.zeros((n_rows, MAX_LEN), dtype=np.int64)
+    for i, ell in enumerate(lengths):
+        values[i, :ell] = rng.integers(1, VOCAB, size=ell)
+    return {
+        "values": values,
+        "attributes": rng.integers(1, N_ATTRS + 1, size=n_rows),
+        "length_norm": (lengths / MAX_LEN).reshape(-1, 1),
+    }
+
+
+class TestPublishLifecycle:
+    def test_round_trip_preserves_every_tensor(self, model):
+        with SharedWeights(model) as shared:
+            manifest = shared.publish()
+            state = dict(model.named_parameters())
+            segment, views = attach_segment(manifest)
+            try:
+                for name, param in state.items():
+                    np.testing.assert_array_equal(views[name], param.data)
+                assert set(views) >= set(state)
+            finally:
+                segment.close()
+
+    def test_republish_without_version_bump_is_a_no_op(self, model):
+        with SharedWeights(model) as shared:
+            first = shared.publish()
+            second = shared.publish()
+            assert second is first
+            assert live_segment_names().count(first["name"]) == 1
+
+    def test_version_bump_swaps_the_segment(self, model):
+        with SharedWeights(model) as shared:
+            first = shared.publish()
+            model.classifier.kernel.data += 0.5
+            model.mark_weights_updated()
+            second = shared.publish()
+            assert second["name"] != first["name"]
+            assert second["version"] > first["version"]
+            names = live_segment_names()
+            assert first["name"] not in names  # old version unlinked
+            assert second["name"] in names
+            segment, views = attach_segment(second)
+            try:
+                np.testing.assert_array_equal(
+                    views["classifier.kernel"], model.classifier.kernel.data)
+            finally:
+                segment.close()
+
+    def test_close_unlinks_and_is_idempotent(self, model):
+        shared = SharedWeights(model)
+        manifest = shared.publish()
+        assert manifest["name"] in live_segment_names()
+        shared.close()
+        shared.close()
+        assert manifest["name"] not in live_segment_names()
+        with pytest.raises(FileNotFoundError):
+            attach_segment(manifest)
+
+    def test_reader_close_does_not_unlink(self, model):
+        """Attaching is tracker-invisible: a reader closing its mapping
+        must not tear the publisher's segment down."""
+        with SharedWeights(model) as shared:
+            manifest = shared.publish()
+            segment, _ = attach_segment(manifest)
+            segment.close()
+            again, views = attach_segment(manifest)
+            try:
+                assert views  # still attachable after a reader went away
+            finally:
+                again.close()
+
+
+@pytest.mark.chaos
+class TestBroadcastCrashSafety:
+    def test_killed_broadcast_leaks_no_segment(self, model):
+        shared = SharedWeights(model)
+        before = live_segment_names()
+        plan = FaultPlan([FaultSpec("parallel.broadcast", "kill")])
+        with use_plan(plan):
+            with pytest.raises(WorkerKilled):
+                shared.publish()
+        assert live_segment_names() == before
+        assert shared.segment_name is None
+        # The publisher recovers once the fault clears.
+        manifest = shared.publish()
+        assert manifest["name"] in live_segment_names()
+        shared.close()
+
+    def test_killed_rebroadcast_keeps_no_stale_segment(self, model):
+        shared = SharedWeights(model)
+        first = shared.publish()
+        model.mark_weights_updated()
+        plan = FaultPlan([FaultSpec("parallel.broadcast", "kill")])
+        with use_plan(plan):
+            with pytest.raises(WorkerKilled):
+                shared.publish()
+        # The aborted new segment is gone; the previous one still serves.
+        names = live_segment_names()
+        assert first["name"] in names
+        assert shared.segment_name == first["name"]
+        shared.close()
+        assert live_segment_names() == ()
+
+
+class TestSharedModelPool:
+    def test_pool_matches_in_process_forward_bit_for_bit(self, model):
+        rng = np.random.default_rng(0)
+        chunks = [_features(rng) for _ in range(3)]
+        expected = [model(chunk).numpy() for chunk in chunks]
+        with SharedModelPool(model, workers=2) as pool:
+            results = pool.map_chunks(chunks)
+        for got, want in zip(results, expected):
+            assert got.tobytes() == want.tobytes()
+
+    def test_weight_update_reaches_the_workers(self, model):
+        rng = np.random.default_rng(1)
+        chunk = _features(rng)
+        with SharedModelPool(model, workers=2) as pool:
+            [before] = pool.map_chunks([chunk])
+            model.classifier.kernel.data += 0.5
+            model.mark_weights_updated()
+            [after] = pool.map_chunks([chunk])
+            expected = model(chunk).numpy()
+        assert not np.array_equal(after, before)
+        assert after.tobytes() == expected.tobytes()
+
+    def test_shutdown_unlinks_the_segment(self, model):
+        pool = SharedModelPool(model, workers=2)
+        pool.map_chunks([_features(np.random.default_rng(2))])
+        name = pool.segment_name
+        assert name in live_segment_names()
+        pool.shutdown()
+        assert name not in live_segment_names()
