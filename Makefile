@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test test-equivalence test-chaos bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-full report examples clean
+.PHONY: install test test-equivalence test-chaos bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-serve bench-full report examples clean
 
 install:
 	pip install -e .
@@ -47,6 +47,14 @@ bench-dedup:
 # float64 graph forward (writes BENCH_parallel.json).
 bench-parallel:
 	pytest benchmarks/test_parallel_bench.py -m bench_smoke -q
+
+# Online-serving gates: micro-batched daemon throughput >= 3x the
+# per-request baseline at 8 concurrent clients, a one-cell update
+# re-running the network on < 5% of the table's feature rows, and
+# daemon scores byte-identical to one-shot `repro serve`
+# (writes BENCH_serve.json).
+bench-serve:
+	pytest benchmarks/test_serve_bench.py -m bench_smoke -q
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

@@ -7,6 +7,7 @@ The subcommands mirror the library's main workflows::
     repro repair  --dirty d.csv --clean c.csv --out repaired.csv
     repro predict --model model.npz --dirty d.csv
     repro serve   --model model.npz a.csv b.csv c.csv
+    repro serve   --model model.npz --daemon --port 7433
     repro benchmark --dataset beers --rows 200 --runs 2
     repro benchmark --dataset beers --resume runs.jsonl --max-retries 2
     repro faults list
@@ -16,7 +17,10 @@ The subcommands mirror the library's main workflows::
 ``--model model.npz`` for reusing a trained detector.  ``predict`` and
 ``serve`` score through the dedup-memoized inference engine (disable
 with ``--no-dedup``; size the cross-call cache with ``--cache-size``);
-``serve`` keeps the prediction cache warm across input files.
+``serve`` keeps the prediction cache warm across input files and, with
+``--daemon``, becomes a long-lived socket server that micro-batches
+concurrent score requests, re-scores only edited cells, and hot-swaps
+models per tenant (see :mod:`repro.serving`).
 
 Every workload subcommand accepts ``--telemetry-out out.jsonl``, which
 enables the instrumentation layer for the duration of the command and
@@ -281,26 +285,91 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_serve_daemon(args) -> int:
+    """Long-lived scoring daemon (``repro serve --daemon``).
+
+    Binds a local TCP socket and serves JSON-lines score / update /
+    feedback / swap_model requests until a client sends ``shutdown`` (or
+    the process receives SIGINT).  Concurrent requests are coalesced
+    into micro-batched forwards; see :mod:`repro.serving`.
+    """
+    from repro.serving import ServingDaemon
+
+    if args.no_dedup:
+        raise ConfigurationError(
+            "--daemon always serves through the dedup engine; drop --no-dedup")
+    daemon = ServingDaemon(
+        model_path=args.model,
+        host=args.host, port=args.port,
+        max_batch_rows=args.max_batch_rows,
+        batch_delay_ms=args.batch_delay_ms,
+        max_queue_rows=args.max_queue_rows,
+        cache_size=args.cache_size if args.cache_size is not None else 65536,
+        workers=args.workers, precision=args.precision,
+    )
+    print(f"serving daemon listening on {daemon.host}:{daemon.port} "
+          f"(micro-batch <= {args.max_batch_rows} rows / "
+          f"{args.batch_delay_ms}ms, queue bound {args.max_queue_rows} rows)",
+          file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.close()
+    stats = daemon.batcher.stats
+    print(f"daemon stopped: {daemon.n_requests} requests, "
+          f"{stats.n_batches} batches ({stats.mean_batch_items:.1f} "
+          f"requests/batch), {daemon.n_rejected} shed", file=sys.stderr)
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Batch-scoring loop: load the model once, score many CSVs.
 
     The detector's prediction cache persists across files, so any cell
     (attribute, value) pair seen in an earlier file is served without
-    touching the network -- the serving-traffic fast path.
+    touching the network -- the serving-traffic fast path.  A file that
+    fails (unreadable, malformed, or sharing no column with the model)
+    is reported with its reason and turns the exit code nonzero; the
+    remaining files are still served.
+
+    ``--daemon`` switches to the long-lived socket daemon instead (no
+    input CSVs; see :mod:`repro.serving`).
     """
     from pathlib import Path
 
+    from repro.errors import DataError
     from repro.models.serialization import load_detector
+
+    if args.daemon:
+        if args.inputs:
+            print("error: --daemon takes no input CSVs (clients submit "
+                  "cells over the socket)", file=sys.stderr)
+            return 2
+        try:
+            return cmd_serve_daemon(args)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if not args.inputs:
+        print("error: batch mode needs at least one input CSV "
+              "(or --daemon for the socket server)", file=sys.stderr)
+        return 2
 
     detector = load_detector(args.model)
     _configure_inference(detector, args)
-    failures = 0
+    failures: list[tuple[str, str]] = []
     for path in args.inputs:
-        out = _score_csv(detector, read_csv(path))
+        try:
+            table = read_csv(path)
+            out = _score_csv(detector, table)
+        except (OSError, DataError, ConfigurationError) as exc:
+            failures.append((str(path), f"{type(exc).__name__}: {exc}"))
+            print(f"{path}: FAILED ({failures[-1][1]})", file=sys.stderr)
+            continue
         if out is None:
-            print(f"{path}: no column matches the model's attributes",
-                  file=sys.stderr)
-            failures += 1
+            reason = "no column matches the model's attributes"
+            failures.append((str(path), reason))
+            print(f"{path}: FAILED ({reason})", file=sys.stderr)
             continue
         stats = detector.inference_stats
         detail = ""
@@ -319,12 +388,16 @@ def cmd_serve(args) -> int:
             print(out.preview(min(out.n_rows, 20)))
     cache = detector.prediction_cache
     total = detector.trainer.total_inference_stats
-    print(f"served {len(args.inputs) - failures}/{len(args.inputs)} files: "
-          f"{total.n_rows} cells, {total.n_evaluated} network forwards, "
-          f"cache hit rate {cache.hit_rate:.1%} "
+    print(f"served {len(args.inputs) - len(failures)}/{len(args.inputs)} "
+          f"files: {total.n_rows} cells, {total.n_evaluated} network "
+          f"forwards, cache hit rate {cache.hit_rate:.1%} "
           f"({cache.hits} hits / {cache.misses} misses, "
           f"{len(cache)} entries)", file=sys.stderr)
-    return 1 if failures == len(args.inputs) else 0
+    if failures:
+        print(f"{len(failures)} file(s) failed:", file=sys.stderr)
+        for path, reason in failures:
+            print(f"  {path}: {reason}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_analyze(args) -> int:
@@ -493,14 +566,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="batch-score many CSVs with one saved model; the prediction "
-             "cache persists across files")
+        help="batch-score many CSVs with one saved model (the prediction "
+             "cache persists across files), or run the long-lived scoring "
+             "daemon with --daemon")
     p_serve.add_argument("--model", required=True,
                          help="detector archive from 'detect --save'")
-    p_serve.add_argument("inputs", nargs="+", metavar="CSV",
-                         help="dirty CSV files to score in order")
+    p_serve.add_argument("inputs", nargs="*", metavar="CSV",
+                         help="dirty CSV files to score in order "
+                              "(batch mode; omit with --daemon)")
     p_serve.add_argument("--out-dir",
                          help="write one <name>.errors.csv per input here")
+    p_serve.add_argument("--daemon", action="store_true",
+                         help="run the long-lived JSON-lines socket daemon "
+                              "(micro-batching, incremental re-scoring, "
+                              "hot-swap model registry)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="daemon bind host (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="daemon bind port (default: 0 = pick a free "
+                              "port, printed at startup)")
+    p_serve.add_argument("--max-batch-rows", type=int, default=256,
+                         help="micro-batch size bound in feature rows "
+                              "(default: 256)")
+    p_serve.add_argument("--batch-delay-ms", type=float, default=4.0,
+                         help="micro-batch deadline in milliseconds "
+                              "(default: 4.0)")
+    p_serve.add_argument("--max-queue-rows", type=int, default=4096,
+                         help="admission-control bound: reject (429) once "
+                              "this many rows are queued (default: 4096)")
     _add_serving_flags(p_serve)
     _add_telemetry_flag(p_serve)
     p_serve.set_defaults(fn=cmd_serve)

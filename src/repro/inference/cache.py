@@ -10,9 +10,18 @@ explicitly flushed whenever the weights version moves (every optimizer
 step and every checkpoint restore bumps it; see
 :meth:`repro.nn.module.Module.mark_weights_updated`), so a hit is always
 bit-identical to re-running the network.
+
+The cache is thread-safe: one reentrant lock serialises every lookup,
+insert, eviction and flush, so concurrent servers (the
+:mod:`repro.serving` daemon, engines shared across threads) can hit one
+cache without lost updates, double evictions or torn counters.  The
+lock is held only for dict operations -- never across a network
+forward -- so contention stays negligible next to inference cost.
 """
 
 from __future__ import annotations
+
+import threading
 
 from collections import OrderedDict
 
@@ -53,13 +62,15 @@ class PredictionCache:
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
         self._version: int | None = None
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def version(self) -> int | None:
@@ -70,61 +81,69 @@ class PredictionCache:
         """Change the capacity, evicting LRU entries if now over it."""
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def sync_version(self, version: int) -> None:
         """Flush every entry computed under a different weights version.
 
         Called by the inference engine before each prediction; a version
         bump (optimizer step, checkpoint restore, ``load_state_dict``)
-        therefore invalidates the whole cache exactly once.
+        therefore invalidates the whole cache exactly once -- concurrent
+        callers racing on the same bump see a single flush (the lock
+        makes check-and-clear atomic).
         """
-        if self._version != version:
-            if self._entries:
-                self.invalidations += 1
-                self._entries.clear()
-            self._version = version
+        with self._lock:
+            if self._version != version:
+                if self._entries:
+                    self.invalidations += 1
+                    self._entries.clear()
+                self._version = version
 
     def invalidate(self) -> None:
         """Explicitly drop every entry (counters are preserved)."""
-        if self._entries:
-            self._entries.clear()
-        self.invalidations += 1
-        self._version = None
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+            self.invalidations += 1
+            self._version = None
 
     def get(self, key_bytes: bytes) -> np.ndarray | None:
         """Probabilities for a feature row, or ``None``; counts hit/miss."""
         inject("cache.lookup")
-        key = (self._version, key_bytes)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            if telemetry.enabled():
-                registry = telemetry.get_registry()
-                registry.counter("cache.lookups").inc()
-                registry.counter("cache.misses").inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            key = (self._version, key_bytes)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
         if telemetry.enabled():
             registry = telemetry.get_registry()
             registry.counter("cache.lookups").inc()
-            registry.counter("cache.hits").inc()
+            registry.counter("cache.hits" if hit else "cache.misses").inc()
         return entry
 
     def put(self, key_bytes: bytes, probabilities: np.ndarray) -> None:
         """Insert (a copy of) one row's probabilities, evicting LRU."""
-        key = (self._version, key_bytes)
-        self._entries[key] = np.array(probabilities, copy=True)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if telemetry.enabled():
-                telemetry.get_registry().counter("cache.evictions").inc()
+        entry = np.array(probabilities, copy=True)
+        evicted = 0
+        with self._lock:
+            key = (self._version, key_bytes)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and telemetry.enabled():
+            telemetry.get_registry().counter("cache.evictions").inc(evicted)
 
     @property
     def hit_rate(self) -> float:
@@ -134,15 +153,16 @@ class PredictionCache:
 
     def stats(self) -> dict[str, float]:
         """Machine-readable counter snapshot for benchmark records."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": round(self.hit_rate, 4),
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:
         return (f"PredictionCache(size={len(self)}/{self.capacity}, "

@@ -1,0 +1,346 @@
+"""Deadline- and size-bounded coalescing of concurrent score requests.
+
+Each forward pass through the network has a fixed per-call overhead
+(Python dispatch, chunk gathers, the RNN time loop's step machinery)
+that dwarfs the marginal cost of an extra row, so scoring eight
+concurrent one-cell requests as eight forwards wastes almost all of the
+hardware.  :class:`MicroBatcher` fixes that: request threads
+:meth:`~MicroBatcher.submit` their encoded feature rows and block on a
+future; a single batcher thread drains the queue, concatenates
+same-tenant requests into one feature batch (bounded by
+``max_batch_rows`` and a ``max_delay_s`` deadline from the oldest
+request's arrival), runs **one**
+:meth:`~repro.inference.InferenceEngine.predict_proba`, and scatters
+the probability slices back to the waiting futures.
+
+Because the engine's per-row outputs are independent of batch
+composition (the duplicate-pad invariant; see
+:func:`repro.inference.engine.pad_single_row`), coalescing is
+value-preserving: a row's probabilities are byte-identical whether it
+was scored alone or packed with 255 strangers.
+
+All scoring for a tenant funnels through the one batcher thread, under
+the tenant's swap lock -- that serialisation is what makes the
+registry's hot swap safe (a publish can never interleave with a
+half-executed micro-batch) and keeps the engine's reusable scratch
+buffers single-threaded.
+
+Admission control is a bounded queue: once ``max_queue_rows`` rows are
+waiting, :meth:`~MicroBatcher.submit` raises :class:`Overloaded`
+instead of queueing -- the daemon translates that into a 429-style
+rejection, shedding load at the door rather than collapsing under it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from collections import deque
+from collections.abc import Mapping
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+
+
+class Overloaded(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the queue is full."""
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One request's slice of a micro-batch's output.
+
+    Attributes
+    ----------
+    probabilities:
+        ``(n_request_rows, n_classes)`` float64 probabilities.
+    weights_version:
+        The model version every row of the batch was scored under
+        (constant across a batch by construction).
+    batch_id:
+        Monotonic id of the executed batch; requests coalesced together
+        share it.
+    batch_items, batch_rows:
+        How many requests / feature rows the executed batch carried.
+    """
+
+    probabilities: np.ndarray
+    weights_version: int
+    batch_id: int
+    batch_items: int
+    batch_rows: int
+
+
+@dataclass
+class BatcherStats:
+    """Python-level counters (single-writer: the batcher thread)."""
+
+    n_batches: int = 0
+    n_items: int = 0
+    n_rows: int = 0
+    n_rejected: int = 0
+    max_queued_rows: int = 0
+
+    @property
+    def mean_batch_items(self) -> float:
+        """Requests coalesced per executed batch (1.0 = no batching win)."""
+        return self.n_items / self.n_batches if self.n_batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_batches": self.n_batches,
+            "n_items": self.n_items,
+            "n_rows": self.n_rows,
+            "n_rejected": self.n_rejected,
+            "max_queued_rows": self.max_queued_rows,
+            "mean_batch_items": round(self.mean_batch_items, 3),
+        }
+
+
+@dataclass
+class _Item:
+    tenant: str
+    features: dict[str, np.ndarray]
+    lengths: np.ndarray | None
+    n_rows: int
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class MicroBatcher:
+    """Coalesce concurrent prediction requests into engine micro-batches.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.registry.ModelRegistry` providing the
+        per-tenant engine (and the swap lock held during execution).
+    max_batch_rows:
+        Size bound: a batch closes as soon as this many rows are
+        waiting.  A single oversized request (e.g. an initial full-table
+        scoring) still executes as its own atomic batch.
+    max_delay_s:
+        Deadline bound: a batch closes at latest this long after its
+        oldest request arrived.  The batcher also closes early when the
+        queue stops growing for a quarter-deadline, so closed-loop
+        request bursts pay far less than the full deadline.
+    max_queue_rows:
+        Admission bound: beyond this many queued rows,
+        :meth:`submit` raises :class:`Overloaded`.
+    coalesce:
+        ``False`` executes every request as its own batch (the
+        per-request baseline arm of ``BENCH_serve.json``).
+    """
+
+    def __init__(self, registry, max_batch_rows: int = 256,
+                 max_delay_s: float = 0.004,
+                 max_queue_rows: int = 4096,
+                 coalesce: bool = True):
+        if max_batch_rows < 1:
+            raise ConfigurationError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}")
+        if max_delay_s < 0:
+            raise ConfigurationError(
+                f"max_delay_s must be >= 0, got {max_delay_s}")
+        if max_queue_rows < 1:
+            raise ConfigurationError(
+                f"max_queue_rows must be >= 1, got {max_queue_rows}")
+        self._registry = registry
+        self.max_batch_rows = max_batch_rows
+        self.max_delay_s = max_delay_s
+        self.max_queue_rows = max_queue_rows
+        self.coalesce = coalesce
+        self.stats = BatcherStats()
+        self._queue: deque[_Item] = deque()
+        self._queued_rows = 0
+        self._cond = threading.Condition()
+        self._stop = False
+        self._batch_id = 0
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        """Start the batcher thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._run,
+                                            name="repro-batcher", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Drain the queue, stop the thread and join it."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, tenant: str, features: Mapping[str, np.ndarray],
+               lengths: np.ndarray | None = None) -> Future:
+        """Enqueue one request; returns a future of :class:`BatchResult`.
+
+        Raises
+        ------
+        Overloaded
+            When ``max_queue_rows`` rows are already waiting (the
+            admission-control bound) or the batcher is shut down.
+        """
+        if not features:
+            raise ConfigurationError("at least one feature array is required")
+        n_rows = int(next(iter(features.values())).shape[0])
+        if n_rows == 0:
+            raise ConfigurationError("cannot submit an empty request")
+        item = _Item(tenant=tenant, features=dict(features),
+                     lengths=None if lengths is None
+                     else np.asarray(lengths).reshape(-1),
+                     n_rows=n_rows)
+        with self._cond:
+            if self._stop:
+                raise Overloaded("batcher is shut down")
+            if self._queued_rows + n_rows > self.max_queue_rows \
+                    and self._queued_rows > 0:
+                self.stats.n_rejected += 1
+                raise Overloaded(
+                    f"{self._queued_rows} rows queued "
+                    f"(bound {self.max_queue_rows}); shedding load")
+            self._queue.append(item)
+            self._queued_rows += n_rows
+            self.stats.max_queued_rows = max(self.stats.max_queued_rows,
+                                             self._queued_rows)
+            self._cond.notify_all()
+        return item.future
+
+    def predict(self, tenant: str, features: Mapping[str, np.ndarray],
+                lengths: np.ndarray | None = None) -> BatchResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(tenant, features, lengths).result()
+
+    # -- the batcher thread -------------------------------------------------
+
+    def _tenant_rows_queued(self, tenant: str) -> int:
+        return sum(item.n_rows for item in self._queue
+                   if item.tenant == tenant)
+
+    def _collect(self) -> list[_Item]:
+        """Block until a batch is due, then drain and return it.
+
+        Returns an empty list only at shutdown with an empty queue.
+        Must run on the batcher thread.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._stop:
+                    return []
+                self._cond.wait()
+            first = self._queue[0]
+            if self.coalesce:
+                deadline = first.enqueued_at + self.max_delay_s
+                # Close early once the queue stops growing: a burst of
+                # closed-loop clients arrives within a fraction of the
+                # deadline, and holding their batch open any longer
+                # buys nothing but latency.
+                quiet_slice = self.max_delay_s / 4 or 0.0005
+                while not self._stop:
+                    rows = self._tenant_rows_queued(first.tenant)
+                    if rows >= self.max_batch_rows:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    before = len(self._queue)
+                    self._cond.wait(timeout=min(quiet_slice, remaining))
+                    if len(self._queue) == before:
+                        break
+            # Drain same-tenant requests FIFO up to the size bound (the
+            # first request always ships, even when oversized).
+            batch: list[_Item] = []
+            rows = 0
+            kept: deque[_Item] = deque()
+            while self._queue:
+                item = self._queue.popleft()
+                if item.tenant != first.tenant:
+                    kept.append(item)
+                    continue
+                if batch and rows + item.n_rows > self.max_batch_rows:
+                    kept.append(item)
+                    continue
+                batch.append(item)
+                rows += item.n_rows
+                if not self.coalesce:
+                    break
+            kept.extend(self._queue)
+            self._queue = kept
+            self._queued_rows -= rows
+            if self._queue:
+                self._cond.notify_all()
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Item]) -> None:
+        tenant = batch[0].tenant
+        try:
+            entry = self._registry.get(tenant)
+        except KeyError as exc:
+            for item in batch:
+                item.future.set_exception(exc)
+            return
+        try:
+            if len(batch) == 1:
+                features = batch[0].features
+                lengths = batch[0].lengths
+            else:
+                features = {
+                    name: np.concatenate(
+                        [item.features[name] for item in batch], axis=0)
+                    for name in batch[0].features
+                }
+                parts = [item.lengths for item in batch]
+                lengths = (None if any(p is None for p in parts)
+                           else np.concatenate(parts))
+            total_rows = sum(item.n_rows for item in batch)
+            # The tenant's swap lock pins one weights version for the
+            # whole batch: a concurrent publish blocks until the batch
+            # completes, so a micro-batch can never mix old and new
+            # weights.
+            with entry.lock:
+                version = entry.version
+                probabilities = entry.engine.predict_proba(features,
+                                                           lengths=lengths)
+            self._batch_id += 1
+            self.stats.n_batches += 1
+            self.stats.n_items += len(batch)
+            self.stats.n_rows += total_rows
+            if telemetry.enabled():
+                registry = telemetry.get_registry()
+                registry.counter("serve.batches").inc()
+                registry.counter("serve.batch_items").inc(len(batch))
+                registry.counter("serve.batch_rows").inc(total_rows)
+            offset = 0
+            for item in batch:
+                item.future.set_result(BatchResult(
+                    probabilities=probabilities[offset:offset + item.n_rows],
+                    weights_version=version,
+                    batch_id=self._batch_id,
+                    batch_items=len(batch),
+                    batch_rows=total_rows,
+                ))
+                offset += item.n_rows
+        except BaseException as exc:  # noqa: BLE001 -- fulfil every waiter
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)

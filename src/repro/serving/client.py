@@ -1,0 +1,73 @@
+"""Minimal blocking client for the serving daemon's JSON-lines protocol.
+
+One persistent connection, one request in flight at a time (an internal
+lock serialises concurrent callers on the same client; the load
+generator opens one client per simulated user instead).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.serving import protocol
+
+
+class ServingClient:
+    """Talk to a :class:`~repro.serving.daemon.ServingDaemon`.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's bind address.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    def connect(self) -> "ServingClient":
+        """Open the connection (idempotent; ``request`` calls it lazily)."""
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=self.timeout)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            if self._sock is not None:
+                self._sock.close()
+                self._sock = None
+
+    def __enter__(self) -> "ServingClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request and block for its reply.
+
+        Raises
+        ------
+        ConnectionError
+            When the daemon hangs up before replying.
+        """
+        with self._lock:
+            self.connect()
+            self._sock.sendall(protocol.encode(payload))
+            line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return protocol.decode(line)

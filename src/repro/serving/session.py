@@ -1,0 +1,223 @@
+"""Long-lived table sessions with incremental re-scoring.
+
+A :class:`TableSession` holds one loaded table's encoded feature rows
+and their current probabilities.  The initial ``load_table`` pays one
+full scoring pass (micro-batched, dedup-memoized); afterwards an
+``update`` of cell *(row, column)* recomputes **only the feature rows
+whose encoder inputs include the edited cell** and serves every other
+row from the scores already held -- the changed-cell fast path that the
+warm :class:`~repro.inference.PredictionCache` makes nearly free when
+the new value was seen before.
+
+With the paper's encoders a cell's feature row depends only on the
+cell's own value, attribute and length, so
+:meth:`TableSession.affected_feature_rows` returns exactly one row; an
+encoder with tuple- or column-context windows would widen that set, and
+this method is the single place such a context map plugs in.  The <5%
+re-scoring bound gated by ``BENCH_serve.json`` is asserted against the
+``inference.*`` telemetry counters, not this method's return value, so
+a future context-window encoder cannot silently break the contract.
+
+Correctness: unchanged rows' inputs and the weights are unchanged, so
+their held scores are byte-identical to what a full re-score would
+produce, and the engine's batch-composition independence makes the
+re-scored rows byte-identical too.  If the tenant's model was hot-
+swapped since the last scoring pass the held scores are stale as a
+whole; :meth:`update` detects the version change and transparently
+falls back to a full re-score, keeping the "session scores == one-shot
+scores under current weights" invariant at every version.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.table import Table
+
+
+def _encode(detector, values: list[str], attributes: list[str]):
+    from repro.models.serialization import encode_values_for
+    features = encode_values_for(detector, values, attributes)
+    # True (clipped) character counts; enables the engine's
+    # sorted-by-length trimmed chunking, which is value-preserving.
+    lengths = (features["values"] != 0).sum(axis=1).astype(np.int64)
+    return features, np.maximum(lengths, 1)
+
+
+class TableSession:
+    """One scored table held resident for cheap cell updates.
+
+    Parameters
+    ----------
+    name:
+        Session key (daemon-level namespace).
+    entry:
+        The owning tenant's
+        :class:`~repro.serving.registry.TenantModel`.
+    table:
+        The dirty table to score.
+    batcher:
+        The daemon's :class:`~repro.serving.batcher.MicroBatcher`; all
+        scoring (initial and incremental) funnels through it.
+    """
+
+    def __init__(self, name: str, entry, table: Table, batcher):
+        self.name = name
+        self.entry = entry
+        self.batcher = batcher
+        detector = entry.detector
+        known = set(detector.prepared.attributes)
+        self.columns = [c for c in table.column_names if c in known]
+        self.skipped = [c for c in table.column_names if c not in known]
+        if not self.columns:
+            raise ConfigurationError(
+                "no column of this table matches the model's attributes; "
+                f"model knows {sorted(known)}")
+        self.n_table_rows = table.n_rows
+        self._col_pos = {c: j for j, c in enumerate(self.columns)}
+        self.values: list[str] = []
+        self._attrs: list[str] = []
+        for column in self.columns:
+            for value in table.column(column).values:
+                self.values.append("" if value is None else str(value))
+                self._attrs.append(column)
+        self.features, self.lengths = _encode(detector, self.values,
+                                              self._attrs)
+        self.feedback: list[dict] = []
+        self._lock = threading.RLock()
+        result = batcher.predict(entry.tenant, self.features, self.lengths)
+        self.probabilities = np.array(result.probabilities, copy=True)
+        self.scored_version = result.weights_version
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_feature_rows(self) -> int:
+        """Total feature rows held (``n_table_rows * len(columns)``)."""
+        return len(self.values)
+
+    def feature_row(self, row: int, column: str) -> int:
+        """The feature-row index of table cell ``(row, column)``."""
+        if column not in self._col_pos:
+            raise ConfigurationError(
+                f"column {column!r} is not served by this session "
+                f"(columns: {self.columns})")
+        if not 0 <= row < self.n_table_rows:
+            raise ConfigurationError(
+                f"row {row} out of range [0, {self.n_table_rows})")
+        return self._col_pos[column] * self.n_table_rows + row
+
+    def affected_feature_rows(self, row: int, column: str) -> np.ndarray:
+        """Feature rows whose encoder inputs include cell ``(row, column)``.
+
+        The per-cell encoders condition only on the cell itself, so the
+        context window of an edit is exactly its own feature row.  A
+        context-aware encoder (tuple neighbours, column statistics)
+        would override this to return the full window.
+        """
+        return np.asarray([self.feature_row(row, column)], dtype=np.int64)
+
+    # -- scoring ------------------------------------------------------------
+
+    def predictions(self) -> np.ndarray:
+        """Current binary predictions (argmax of the held probabilities)."""
+        with self._lock:
+            return self.probabilities.argmax(axis=1).astype(np.int64)
+
+    def flagged(self) -> list[tuple[int, str, str]]:
+        """``(row, attribute, value)`` of every cell currently flagged."""
+        with self._lock:
+            predictions = self.probabilities.argmax(axis=1)
+            return [(i % self.n_table_rows, self._attrs[i], self.values[i])
+                    for i in np.flatnonzero(predictions == 1)]
+
+    def _rescore(self, rows: np.ndarray) -> None:
+        """Re-encode and re-score ``rows`` in place (lock held)."""
+        detector = self.entry.detector
+        features, lengths = _encode(detector,
+                                    [self.values[i] for i in rows],
+                                    [self._attrs[i] for i in rows])
+        for name, part in features.items():
+            self.features[name][rows] = part
+        self.lengths[rows] = lengths
+        result = self.batcher.predict(self.entry.tenant, features, lengths)
+        self.probabilities[rows] = result.probabilities
+        self.scored_version = result.weights_version
+
+    def update(self, row: int, column: str, value: str | None) -> dict:
+        """Apply one cell edit and re-score only its context window.
+
+        Returns a record with the re-scored row count (the incremental
+        contract: tiny next to :attr:`n_feature_rows`), the cell's new
+        flag and probabilities, and whether a model swap forced a full
+        re-score instead.
+        """
+        value = "" if value is None else str(value)
+        with self._lock:
+            index = self.feature_row(row, column)
+            was_flagged = bool(self.probabilities[index].argmax() == 1)
+            self.values[index] = value
+            expected = self.scored_version
+            full = self.entry.version != expected
+            rows = (np.arange(self.n_feature_rows, dtype=np.int64) if full
+                    else self.affected_feature_rows(row, column))
+            self._rescore(rows)
+            n_rescored = int(rows.shape[0])
+            if not full and self.scored_version != expected:
+                # A hot swap landed between the version check and the
+                # batch execution: the untouched rows are stale under
+                # the new weights, so pay the full pass after all.
+                full = True
+                self._rescore(np.arange(self.n_feature_rows,
+                                        dtype=np.int64))
+                n_rescored += self.n_feature_rows
+            now_flagged = bool(self.probabilities[index].argmax() == 1)
+            record = {
+                "row": int(row),
+                "column": column,
+                "flagged": now_flagged,
+                "was_flagged": was_flagged,
+                "probabilities": self.probabilities[index].tolist(),
+                "n_rescored": n_rescored,
+                "n_feature_rows": self.n_feature_rows,
+                "full_rescore": full,
+                "weights_version": self.scored_version,
+            }
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter("serve.updates").inc()
+            registry.counter("serve.rescored_rows").inc(record["n_rescored"])
+            if full:
+                registry.counter("serve.full_rescores").inc()
+        return record
+
+    def add_feedback(self, row: int, column: str, label: int) -> int:
+        """Record one user label for later retraining; returns the count."""
+        if label not in (0, 1):
+            raise ConfigurationError(f"label must be 0 or 1, got {label!r}")
+        index = self.feature_row(row, column)
+        with self._lock:
+            self.feedback.append({
+                "row": int(row), "column": column, "label": int(label),
+                "value": self.values[index],
+                "predicted": int(self.probabilities[index].argmax()),
+            })
+            count = len(self.feedback)
+        if telemetry.enabled():
+            telemetry.get_registry().counter("serve.feedback").inc()
+        return count
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "n_table_rows": self.n_table_rows,
+                "columns": list(self.columns),
+                "n_feature_rows": self.n_feature_rows,
+                "n_flagged": int((self.probabilities.argmax(axis=1) == 1).sum()),
+                "n_feedback": len(self.feedback),
+                "weights_version": self.scored_version,
+            }

@@ -50,8 +50,10 @@ from repro.telemetry.sinks import (
 )
 from repro.telemetry.spans import Span, current_span, span
 from repro.telemetry.summarize import (
+    percentile_from_buckets,
     read_records,
     render_summary,
+    summarize_histogram,
     summarize_jsonl,
     summarize_records,
 )
@@ -79,8 +81,10 @@ __all__ = [
     "Span",
     "current_span",
     "span",
+    "percentile_from_buckets",
     "read_records",
     "render_summary",
+    "summarize_histogram",
     "summarize_jsonl",
     "summarize_records",
 ]

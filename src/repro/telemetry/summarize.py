@@ -2,17 +2,75 @@
 
 ``repro telemetry summarize out.jsonl`` renders the output of a
 ``--telemetry-out`` session: record counts per type, per-span wall-time
-totals, the per-epoch loss trajectory, and the inference counters
-(rows/unique/cache hits/misses) summed over every prediction call.
+totals, the per-epoch loss trajectory, the inference counters
+(rows/unique/cache hits/misses) summed over every prediction call, and
+p50/p95/p99 estimates for every fixed-bucket histogram in the final
+metrics snapshot (e.g. the serving daemon's ``serve.latency``).
 """
 
 from __future__ import annotations
 
 import json
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+
+#: Quantiles reported for every snapshot histogram.
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def percentile_from_buckets(edges: Sequence[float], counts: Sequence[int],
+                            q: float, maximum: float | None = None) -> float | None:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    ``counts`` has one entry per upper ``edge`` plus a final overflow
+    bucket (the :class:`~repro.telemetry.Histogram` layout).  The
+    estimate interpolates linearly inside the bucket the quantile lands
+    in (the first bucket starts at 0.0, the natural floor for latency
+    edges); an overflow landing is capped at the observed ``maximum``
+    when known, else reported as the last finite edge.  Returns ``None``
+    for an empty histogram or ``q`` outside ``(0, 1]``.
+    """
+    if len(counts) != len(edges) + 1:
+        raise ConfigurationError(
+            f"expected {len(edges) + 1} bucket counts for {len(edges)} "
+            f"edges, got {len(counts)}")
+    total = sum(counts)
+    if total <= 0 or not 0.0 < q <= 1.0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        lower = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            if i >= len(edges):            # overflow bucket
+                return float(maximum) if maximum is not None \
+                    else float(edges[-1])
+            low = 0.0 if i == 0 else float(edges[i - 1])
+            high = float(edges[i])
+            fraction = (rank - lower) / count
+            return low + (high - low) * fraction
+    return float(maximum) if maximum is not None else float(edges[-1])
+
+
+def summarize_histogram(state: Mapping) -> dict:
+    """Count/mean/min/max plus :data:`PERCENTILES` of one histogram
+    snapshot (the ``histograms`` entries of a ``snapshot`` record)."""
+    count = int(state.get("count", 0))
+    summary = {
+        "count": count,
+        "mean": (float(state["total"]) / count) if count else None,
+        "min": state.get("min"),
+        "max": state.get("max"),
+    }
+    for q in PERCENTILES:
+        summary[f"p{int(q * 100)}"] = percentile_from_buckets(
+            state["edges"], state["counts"], q, maximum=state.get("max"))
+    return summary
 
 
 def read_records(path: str | Path) -> list[dict]:
@@ -38,19 +96,31 @@ def summarize_records(records: Iterable[Mapping]) -> dict:
 
     Returns a dict with ``record_counts`` (per record type), ``spans``
     (count / total & mean wall seconds per span name), ``epochs``
-    (count, first/last/min loss, total wall), and ``inference`` (summed
+    (count, first/last/min loss, total wall), ``inference`` (summed
     rows, unique cells, cache hits/misses, evaluated representatives and
-    the overall unique-cell ratio and hit rate).
+    the overall unique-cell ratio and hit rate), and ``histograms``
+    (count/mean/min/max and p50/p95/p99 per fixed-bucket histogram in
+    the final metrics snapshot -- how ``serve.latency`` is read).
     """
     record_counts: dict[str, int] = {}
     spans: dict[str, dict] = {}
     epochs: list[Mapping] = []
+    histograms: dict[str, dict] = {}
     inference = {"calls": 0, "n_rows": 0, "n_unique": 0, "cache_hits": 0,
                  "cache_misses": 0, "n_evaluated": 0}
     for record in records:
         record_type = str(record.get("type", "unknown"))
         record_counts[record_type] = record_counts.get(record_type, 0) + 1
-        if record_type == "span":
+        if record_type == "snapshot":
+            # Last snapshot wins: a --telemetry-out session emits one
+            # final snapshot carrying the full metrics state.
+            histograms = {
+                name: summarize_histogram(state)
+                for name, state in record.get("metrics", {})
+                                         .get("histograms", {}).items()
+                if state.get("count")
+            }
+        elif record_type == "span":
             entry = spans.setdefault(str(record.get("name", "?")),
                                      {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
             entry["count"] += 1
@@ -83,6 +153,7 @@ def summarize_records(records: Iterable[Mapping]) -> dict:
         "spans": spans,
         "epochs": epoch_summary,
         "inference": inference,
+        "histograms": histograms,
     }
 
 
@@ -122,6 +193,15 @@ def render_summary(summary: Mapping) -> str:
             f"(hit rate {_fmt(inference['hit_rate'])}), "
             f"{inference['n_evaluated']} network forwards"
         )
+    if summary.get("histograms"):
+        lines.append("histograms (count / p50 / p95 / p99 / max):")
+        for name in sorted(summary["histograms"]):
+            entry = summary["histograms"][name]
+            lines.append(
+                f"  {name:<28} {entry['count']} / "
+                f"{_fmt(entry['p50'], 6)} / {_fmt(entry['p95'], 6)} / "
+                f"{_fmt(entry['p99'], 6)} / {_fmt(entry['max'], 6)}"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,162 @@
+"""Multi-threaded stress tests for the PredictionCache lock.
+
+These hammer the cache from many threads and then check the global
+counter invariants that only hold if every lookup/insert/eviction was
+serialised: no lost updates (hits + misses == lookups issued), no
+double evictions (unique inserts - resident == evicted), and a racing
+version bump flushing exactly once.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.inference import PredictionCache
+
+N_THREADS = 8
+N_OPS = 400
+
+
+def run_threads(target, n=N_THREADS):
+    barrier = threading.Barrier(n)
+    errors = []
+
+    def wrapped(i):
+        try:
+            barrier.wait()
+            target(i)
+        except Exception as exc:  # noqa: BLE001 -- surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+
+class TestConcurrentGetPut:
+    def test_counters_account_for_every_operation(self):
+        cache = PredictionCache(capacity=64)
+        cache.sync_version(1)
+        probabilities = np.array([0.25, 0.75])
+
+        def worker(i):
+            # Disjoint key ranges: every put inserts a distinct key, so
+            # eviction accounting below is exact.
+            for j in range(N_OPS):
+                key = f"{i}:{j}".encode()
+                if cache.get(key) is None:
+                    cache.put(key, probabilities)
+
+        run_threads(worker)
+        stats = cache.stats()
+        assert stats["size"] <= 64
+        # Every lookup was counted exactly once (no torn counters).
+        assert stats["hits"] + stats["misses"] == N_THREADS * N_OPS
+        # Every distinct key was inserted once; whatever is not
+        # resident was evicted exactly once (no double evictions).
+        assert stats["misses"] == N_THREADS * N_OPS  # all keys distinct
+        assert stats["evictions"] == N_THREADS * N_OPS - stats["size"]
+        assert stats["invalidations"] == 0
+
+    def test_shared_hot_keys_return_consistent_entries(self):
+        cache = PredictionCache(capacity=32)
+        cache.sync_version(1)
+        expected = {f"k{j}".encode(): np.array([float(j), 1.0 - j])
+                    for j in range(16)}
+
+        def worker(i):
+            for j in range(N_OPS):
+                key = f"k{j % 16}".encode()
+                entry = cache.get(key)
+                if entry is None:
+                    cache.put(key, expected[key])
+                else:
+                    np.testing.assert_array_equal(entry, expected[key])
+
+        run_threads(worker)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == N_THREADS * N_OPS
+        assert stats["size"] <= 16
+        assert stats["evictions"] == 0
+
+    def test_put_stores_a_copy(self):
+        cache = PredictionCache(capacity=4)
+        source = np.array([0.5, 0.5])
+        cache.sync_version(1)
+        cache.put(b"k", source)
+        source[0] = 99.0
+        np.testing.assert_array_equal(cache.get(b"k"), [0.5, 0.5])
+
+
+class TestConcurrentVersionSync:
+    def test_racing_bump_flushes_exactly_once(self):
+        cache = PredictionCache(capacity=256)
+        cache.sync_version(1)
+        for j in range(100):
+            cache.put(f"k{j}".encode(), np.array([0.1, 0.9]))
+        assert len(cache) == 100
+
+        run_threads(lambda i: cache.sync_version(2))
+        assert cache.version == 2
+        assert len(cache) == 0
+        # All eight racing threads observed one atomic check-and-clear.
+        assert cache.stats()["invalidations"] == 1
+
+    def test_bump_during_traffic_keeps_invariants(self):
+        cache = PredictionCache(capacity=128)
+        cache.sync_version(0)
+        probabilities = np.array([0.5, 0.5])
+        stop = threading.Event()
+
+        def churn(i):
+            j = 0
+            while not stop.is_set():
+                key = f"{i}:{j % 50}".encode()
+                if cache.get(key) is None:
+                    cache.put(key, probabilities)
+                j += 1
+
+        churners = [threading.Thread(target=churn, args=(i,))
+                    for i in range(4)]
+        for thread in churners:
+            thread.start()
+        for version in range(1, 21):
+            cache.sync_version(version)
+        stop.set()
+        for thread in churners:
+            thread.join()
+        stats = cache.stats()
+        assert stats["size"] <= 128
+        assert stats["hits"] + stats["misses"] > 0
+        # At most one flush per distinct version, regardless of racing
+        # lookups repopulating between bumps.
+        assert stats["invalidations"] <= 20
+
+
+class TestLockedResize:
+    def test_concurrent_resize_and_put(self):
+        cache = PredictionCache(capacity=256)
+        cache.sync_version(1)
+        probabilities = np.array([0.5, 0.5])
+
+        def worker(i):
+            for j in range(N_OPS // 4):
+                cache.put(f"{i}:{j}".encode(), probabilities)
+                if j % 16 == 0:
+                    cache.resize(64 if j % 32 else 256)
+
+        run_threads(worker)
+        cache.resize(8)
+        assert len(cache) <= 8
+
+    def test_capacity_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PredictionCache(capacity=0)
+        with pytest.raises(ConfigurationError):
+            PredictionCache(capacity=4).resize(0)

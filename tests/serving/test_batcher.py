@@ -1,0 +1,167 @@
+"""Micro-batcher coalescing, admission control and value preservation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inference import InferenceEngine
+from repro.serving import MicroBatcher, Overloaded
+
+from tests.serving.conftest import encode_cells
+
+
+def queue_then_start(batcher, requests):
+    """Enqueue every request before the batcher thread exists.
+
+    Deterministic coalescing: by the time the thread starts, the first
+    item's deadline has effectively arrived with the whole queue
+    waiting, so everything admissible lands in one batch.
+    """
+    futures = [batcher.submit(*request) for request in requests]
+    batcher.start()
+    return [future.result(timeout=10) for future in futures]
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_batch(self, detector, batcher):
+        features, lengths = encode_cells(detector, ["abc", "xy", "1", "qq"])
+        requests = [("default",
+                     {k: v[i:i + 1] for k, v in features.items()},
+                     lengths[i:i + 1])
+                    for i in range(4)]
+        results = queue_then_start(batcher, requests)
+        assert len({r.batch_id for r in results}) == 1
+        assert all(r.batch_items == 4 for r in results)
+        assert all(r.batch_rows == 4 for r in results)
+        assert batcher.stats.n_batches == 1
+        assert batcher.stats.mean_batch_items == 4.0
+
+    def test_coalesced_scores_are_byte_identical_to_solo(self, prepared,
+                                                         detector, batcher):
+        from tests.serving.conftest import build_detector
+
+        values = ["80,000", "98000", "zzz", "8000"]
+        features, lengths = encode_cells(detector, values)
+        requests = [("default",
+                     {k: v[i:i + 1] for k, v in features.items()},
+                     lengths[i:i + 1])
+                    for i in range(len(values))]
+        results = queue_then_start(batcher, requests)
+
+        # Reference: each row alone through a fresh engine (same seed).
+        reference_model = build_detector(prepared).model
+        engine = InferenceEngine(reference_model)
+        try:
+            for i, result in enumerate(results):
+                solo = engine.predict_proba(
+                    {k: v[i:i + 1] for k, v in features.items()},
+                    lengths=lengths[i:i + 1])
+                np.testing.assert_array_equal(result.probabilities, solo)
+        finally:
+            engine.close()
+
+    def test_coalesce_off_means_one_request_per_batch(self, detector,
+                                                      registry):
+        batcher = MicroBatcher(registry, coalesce=False)
+        try:
+            features, lengths = encode_cells(detector, ["a", "b"])
+            requests = [("default",
+                         {k: v[i:i + 1] for k, v in features.items()},
+                         lengths[i:i + 1])
+                        for i in range(2)]
+            results = queue_then_start(batcher, requests)
+            assert results[0].batch_id != results[1].batch_id
+            assert all(r.batch_items == 1 for r in results)
+            assert batcher.stats.n_batches == 2
+        finally:
+            batcher.close()
+
+    def test_size_bound_splits_batches(self, detector, registry):
+        batcher = MicroBatcher(registry, max_batch_rows=3, max_delay_s=0.002)
+        try:
+            features, lengths = encode_cells(detector, list("abcde"))
+            requests = [("default",
+                         {k: v[i:i + 1] for k, v in features.items()},
+                         lengths[i:i + 1])
+                        for i in range(5)]
+            results = queue_then_start(batcher, requests)
+            assert batcher.stats.n_batches == 2
+            assert sorted(r.batch_rows for r in results) == [2, 2, 3, 3, 3]
+        finally:
+            batcher.close()
+
+    def test_batches_never_mix_tenants(self, prepared, detector, registry):
+        from tests.serving.conftest import build_detector
+
+        registry.add("other", detector=build_detector(prepared, seed=1))
+        batcher = MicroBatcher(registry, max_delay_s=0.002)
+        try:
+            features, lengths = encode_cells(detector, ["a", "b", "c"])
+            one_row = [({k: v[i:i + 1] for k, v in features.items()},
+                        lengths[i:i + 1]) for i in range(3)]
+            results = queue_then_start(batcher, [
+                ("default", *one_row[0]),
+                ("other", *one_row[1]),
+                ("default", *one_row[2]),
+            ])
+            assert results[0].batch_id == results[2].batch_id
+            assert results[0].batch_items == 2
+            assert results[1].batch_items == 1
+            assert results[1].batch_id != results[0].batch_id
+        finally:
+            batcher.close()
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_load(self, detector, registry):
+        batcher = MicroBatcher(registry, max_queue_rows=2)
+        features, lengths = encode_cells(detector, ["a", "b"])
+        batcher.submit("default", features, lengths)  # fills the bound
+        with pytest.raises(Overloaded):
+            batcher.submit("default", features, lengths)
+        assert batcher.stats.n_rejected == 1
+        # The queued request still completes once the thread runs.
+        batcher.start()
+        batcher.close()
+
+    def test_single_oversized_request_is_admitted_when_idle(self, detector,
+                                                            registry):
+        batcher = MicroBatcher(registry, max_queue_rows=2)
+        try:
+            features, lengths = encode_cells(detector, list("abcdef"))
+            result = queue_then_start(
+                batcher, [("default", features, lengths)])[0]
+            assert result.batch_rows == 6
+        finally:
+            batcher.close()
+
+    def test_submit_after_close_is_rejected(self, detector, batcher):
+        features, lengths = encode_cells(detector, ["a"])
+        batcher.start()
+        batcher.close()
+        with pytest.raises(Overloaded):
+            batcher.submit("default", features, lengths)
+
+
+class TestValidation:
+    def test_unknown_tenant_fails_the_future(self, detector, batcher):
+        features, lengths = encode_cells(detector, ["a"])
+        future = batcher.submit("ghost", features, lengths)
+        batcher.start()
+        with pytest.raises(KeyError):
+            future.result(timeout=10)
+
+    def test_empty_request_rejected(self, batcher):
+        with pytest.raises(ConfigurationError):
+            batcher.submit("default", {})
+        with pytest.raises(ConfigurationError):
+            batcher.submit("default",
+                           {"values": np.zeros((0, 4), dtype=np.int64)})
+
+    def test_bounds_validated(self, registry):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(registry, max_batch_rows=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(registry, max_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(registry, max_queue_rows=0)

@@ -1,0 +1,118 @@
+"""Table sessions: incremental re-scoring and the swap fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.registry import DEFAULT_TENANT
+from repro.serving.session import TableSession
+from repro.table import Table
+
+from tests.serving.conftest import build_detector
+
+
+@pytest.fixture
+def session(registry, batcher, dirty_table):
+    batcher.start()
+    return TableSession("t", registry.get(DEFAULT_TENANT), dirty_table,
+                        batcher)
+
+
+class TestGeometry:
+    def test_feature_rows_are_column_major(self, session, dirty_table):
+        n = dirty_table.n_rows
+        assert session.n_feature_rows == n * len(session.columns)
+        for j, column in enumerate(session.columns):
+            for row in range(n):
+                assert session.feature_row(row, column) == j * n + row
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(ConfigurationError):
+            session.feature_row(0, "ghost")
+
+    def test_row_out_of_range_rejected(self, session):
+        with pytest.raises(ConfigurationError):
+            session.feature_row(99, session.columns[0])
+
+    def test_affected_rows_is_the_edited_cell(self, session):
+        affected = session.affected_feature_rows(2, session.columns[1])
+        np.testing.assert_array_equal(
+            affected, [session.feature_row(2, session.columns[1])])
+
+    def test_no_matching_columns_rejected(self, registry, batcher):
+        batcher.start()
+        with pytest.raises(ConfigurationError):
+            TableSession("t", registry.get(DEFAULT_TENANT),
+                         Table({"unrelated": ["a", "b"]}), batcher)
+
+
+class TestIncrementalUpdate:
+    def test_update_rescores_one_row(self, session):
+        record = session.update(1, session.columns[0], "999")
+        assert record["n_rescored"] == 1
+        assert record["full_rescore"] is False
+        assert record["n_feature_rows"] == session.n_feature_rows
+        assert session.values[session.feature_row(1, session.columns[0])] \
+            == "999"
+
+    def test_updated_scores_match_fresh_full_pass(self, registry, batcher,
+                                                  session, dirty_table):
+        column = session.columns[1]
+        session.update(3, column, "different")
+        # A brand-new session over the edited table pays one full
+        # scoring pass; the incrementally maintained probabilities must
+        # be byte-identical to it.
+        edited = {name: list(dirty_table.column(name).values)
+                  for name in dirty_table.column_names}
+        edited[column][3] = "different"
+        fresh = TableSession("fresh", registry.get(DEFAULT_TENANT),
+                             Table(edited), batcher)
+        np.testing.assert_array_equal(session.probabilities,
+                                      fresh.probabilities)
+
+    def test_update_none_clears_the_cell(self, session):
+        record = session.update(0, session.columns[0], None)
+        assert session.values[session.feature_row(0, session.columns[0])] == ""
+        assert record["n_rescored"] == 1
+
+    def test_swap_forces_full_rescore(self, prepared, registry, session):
+        registry.publish(DEFAULT_TENANT,
+                         detector=build_detector(prepared, seed=1))
+        record = session.update(0, session.columns[0], "x")
+        assert record["full_rescore"] is True
+        assert record["n_rescored"] == session.n_feature_rows
+        assert record["weights_version"] == 1
+        # The next update is incremental again.
+        record = session.update(1, session.columns[0], "y")
+        assert record["full_rescore"] is False
+        assert record["n_rescored"] == 1
+
+
+class TestFeedbackAndStats:
+    def test_feedback_recorded(self, session):
+        assert session.add_feedback(0, session.columns[0], 1) == 1
+        assert session.add_feedback(1, session.columns[0], 0) == 2
+        entry = session.feedback[0]
+        assert entry["row"] == 0
+        assert entry["label"] == 1
+        assert "predicted" in entry and "value" in entry
+
+    def test_feedback_label_validated(self, session):
+        with pytest.raises(ConfigurationError):
+            session.add_feedback(0, session.columns[0], 2)
+
+    def test_flagged_matches_predictions(self, session):
+        predictions = session.predictions()
+        flagged = session.flagged()
+        assert len(flagged) == int((predictions == 1).sum())
+        for row, attribute, value in flagged:
+            index = session.feature_row(row, attribute)
+            assert predictions[index] == 1
+            assert session.values[index] == value
+
+    def test_stats_shape(self, session, dirty_table):
+        stats = session.stats()
+        assert stats["n_table_rows"] == dirty_table.n_rows
+        assert stats["n_feature_rows"] == session.n_feature_rows
+        assert stats["n_feedback"] == 0
+        assert stats["weights_version"] == 0

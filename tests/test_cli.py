@@ -135,9 +135,43 @@ class TestServingFlags:
         assert args.no_dedup is False
         assert args.cache_size is None
 
-    def test_serve_requires_inputs(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve", "--model", "m.npz"])
+    def test_serve_without_inputs_or_daemon_fails(self, capsys):
+        # Inputs are optional at parse time (the daemon takes none),
+        # but batch mode without any is a usage error.
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.inputs == []
+        assert main(["serve", "--model", "m.npz"]) == 2
+        assert "batch mode needs at least one input" \
+            in capsys.readouterr().err
+
+    def test_daemon_rejects_inputs(self, capsys):
+        assert main(["serve", "--model", "m.npz", "--daemon", "a.csv"]) == 2
+        assert "--daemon takes no input" in capsys.readouterr().err
+
+    def test_daemon_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--model", "m.npz", "--daemon", "--port", "7433",
+            "--max-batch-rows", "64", "--batch-delay-ms", "2.5",
+            "--max-queue-rows", "512"])
+        assert args.daemon is True
+        assert args.inputs == []
+        assert args.host == "127.0.0.1"
+        assert args.port == 7433
+        assert args.max_batch_rows == 64
+        assert args.batch_delay_ms == 2.5
+        assert args.max_queue_rows == 512
+
+    def test_daemon_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz",
+                                          "a.csv"])
+        assert args.daemon is False
+        assert args.port == 0
+        assert args.max_batch_rows == 256
+
+    def test_daemon_excludes_no_dedup(self, capsys):
+        assert main(["serve", "--model", "m.npz", "--daemon",
+                     "--no-dedup"]) == 1
+        assert "drop --no-dedup" in capsys.readouterr().err
 
 
 class TestParallelPrecisionFlags:
@@ -242,16 +276,27 @@ class TestServeCommand:
         other.write_text("unrelated\nvalue\n")
         assert main(["serve", "--model", str(model_path), str(other)]) == 1
 
-    def test_serve_mixed_files_succeeds(self, csv_pair, model_path, tmp_path,
-                                        capsys):
+    def test_serve_mixed_files_reports_reasons_and_fails(self, csv_pair,
+                                                         model_path,
+                                                         tmp_path, capsys):
         dirty, _ = csv_pair
-        other = tmp_path / "other.csv"
-        other.write_text("unrelated\nvalue\n")
+        unmatched = tmp_path / "other.csv"
+        unmatched.write_text("unrelated\nvalue\n")
+        missing = tmp_path / "absent.csv"
+        out_dir = tmp_path / "scored"
         code = main(["serve", "--model", str(model_path),
-                     str(other), str(dirty),
-                     "--out-dir", str(tmp_path / "scored")])
-        assert code == 0
-        assert "served 1/2 files" in capsys.readouterr().err
+                     str(unmatched), str(dirty), str(missing),
+                     "--out-dir", str(out_dir)])
+        # ANY failed input turns the exit nonzero, but the good file
+        # was still served.
+        assert code == 1
+        err = capsys.readouterr().err
+        assert (out_dir / "dirty.errors.csv").exists()
+        assert "served 1/3 files" in err
+        assert f"{unmatched}: FAILED" in err
+        assert "no column matches the model's attributes" in err
+        assert f"{missing}: FAILED" in err
+        assert "2 file(s) failed:" in err
 
     def test_predict_no_dedup_matches(self, csv_pair, model_path, tmp_path):
         dirty, _ = csv_pair
