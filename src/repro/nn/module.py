@@ -169,6 +169,8 @@ class Module:
                 f"state dict mismatch; missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
+        # Validate every shape before copying anything: a mismatch must
+        # never leave the model with partially overwritten weights.
         for name, param in params.items():
             value = state[name]
             if value.shape != param.data.shape:
@@ -176,7 +178,8 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"{value.shape} vs {param.data.shape}"
                 )
-            param.data = value.copy()
+        for name, param in params.items():
+            param.data = state[name].copy()
         self._load_buffers(state)
         self.mark_weights_updated()
 

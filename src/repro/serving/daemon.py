@@ -51,12 +51,15 @@ class _Handler(socketserver.StreamRequestHandler):
             if not line.strip():
                 continue
             reply = daemon.handle_line(line)
+            # "_close" is internal framing (reply, then drop the
+            # connection); it must never reach the wire.
+            close = bool(reply.pop("_close", False))
             try:
                 self.wfile.write(protocol.encode(reply))
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError):
                 return
-            if reply.get("_close"):
+            if close:
                 return
 
 
@@ -193,8 +196,9 @@ class ServingDaemon:
             return protocol.error(protocol.OVERLOADED, str(exc),
                                   retry=True)
         except KeyError as exc:
+            message = exc.args[0] if exc.args else repr(exc)
             return self._count_error(
-                protocol.error(protocol.NOT_FOUND, f"unknown key: {exc}"))
+                protocol.error(protocol.NOT_FOUND, str(message)))
         except (ConfigurationError, DataError, FileNotFoundError) as exc:
             return self._count_error(
                 protocol.error(protocol.BAD_REQUEST, str(exc)))
@@ -228,7 +232,8 @@ class ServingDaemon:
         try:
             return self.registry.get(tenant)
         except KeyError:
-            raise ConfigurationError(
+            # KeyError -> protocol.NOT_FOUND (the documented 404).
+            raise KeyError(
                 f"unknown tenant {tenant!r}; registered: "
                 f"{list(self.registry.tenants())}") from None
 
@@ -312,8 +317,8 @@ class ServingDaemon:
         if session is None:
             with self._sessions_lock:
                 known = list(self.sessions)
-            raise ConfigurationError(
-                f"unknown session {name!r}; loaded: {known}")
+            # KeyError -> protocol.NOT_FOUND (the documented 404).
+            raise KeyError(f"unknown session {name!r}; loaded: {known}")
         return session
 
     def _op_update(self, request: dict) -> dict:

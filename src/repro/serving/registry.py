@@ -21,7 +21,10 @@ Hot swap (:meth:`ModelRegistry.publish`) comes in two flavours:
   no downtime.
 * **replace** -- anything else (different architecture, vocabulary or
   shapes) swaps in a freshly built engine around the new model, still
-  sharing the tenant's cache.
+  sharing the tenant's cache.  The new model's ``weights_version`` is
+  forced strictly past the old entry's, so the version-keyed cache and
+  every session's swap detection see the replacement even when both
+  models report the same archive-load version.
 
 Either way the publish happens under the tenant's swap lock, the same
 lock the :class:`~repro.serving.batcher.MicroBatcher` holds while
@@ -203,18 +206,22 @@ class ModelRegistry:
                 entry = self.add(tenant, detector=loaded)
                 return {"tenant": tenant, "version": entry.version,
                         "mode": "created", "swaps": entry.swaps}
-        in_place = (_dictionary_signature(loaded)
-                    == _dictionary_signature(entry.detector))
-        if in_place:
-            state = loaded.model.state_dict()
-            current = entry.detector.model.state_dict()
-            in_place = (state.keys() == current.keys()
-                        and all(state[k].shape == current[k].shape
-                                for k in state))
-        # The swap lock serialises against in-flight micro-batches: the
+        # The swap lock serialises against in-flight micro-batches (the
         # publish waits for the running batch, and every later batch
-        # sees the new weights version atomically.
+        # sees the new weights version atomically) and against
+        # concurrent publishes to the same tenant: the in-place
+        # decision below must be taken against the detector actually
+        # being replaced, not a snapshot another publish already
+        # swapped out.
         with entry.lock:
+            in_place = (_dictionary_signature(loaded)
+                        == _dictionary_signature(entry.detector))
+            if in_place:
+                state = loaded.model.state_dict()
+                current = entry.detector.model.state_dict()
+                in_place = (state.keys() == current.keys()
+                            and all(state[k].shape == current[k].shape
+                                    for k in state))
             if in_place:
                 # load_state_dict bumps weights_version -- the one
                 # signal that flushes the prediction cache (exactly
@@ -224,6 +231,19 @@ class ModelRegistry:
                     loaded.model.state_dict())
                 entry.detector.model.eval()
             else:
+                # Force the served version to increase strictly.  Every
+                # archive-loaded model sits at weights_version 1 (one
+                # load_state_dict from 0), so swapping archive A for an
+                # architecturally different archive B would otherwise
+                # leave entry.version unchanged -- and the shared
+                # PredictionCache (keyed by version) would serve A's
+                # probabilities as B's, while sessions' swap detection
+                # never fired.
+                old_version = entry.version
+                model = loaded.model
+                if model.weights_version <= old_version:
+                    model._weights_version = old_version
+                    model.mark_weights_updated()
                 entry.detector = loaded
                 entry.engine = self._build_engine(loaded, entry.cache)
             entry.swaps += 1

@@ -85,13 +85,9 @@ class TableSession:
             for value in table.column(column).values:
                 self.values.append("" if value is None else str(value))
                 self._attrs.append(column)
-        self.features, self.lengths = _encode(detector, self.values,
-                                              self._attrs)
         self.feedback: list[dict] = []
         self._lock = threading.RLock()
-        result = batcher.predict(entry.tenant, self.features, self.lengths)
-        self.probabilities = np.array(result.probabilities, copy=True)
-        self.scored_version = result.weights_version
+        self._full_rescore()
 
     # -- geometry -----------------------------------------------------------
 
@@ -135,18 +131,53 @@ class TableSession:
             return [(i % self.n_table_rows, self._attrs[i], self.values[i])
                     for i in np.flatnonzero(predictions == 1)]
 
-    def _rescore(self, rows: np.ndarray) -> None:
-        """Re-encode and re-score ``rows`` in place (lock held)."""
+    def _full_rescore(self) -> None:
+        """Re-encode and re-score the whole table (lock held).
+
+        Rebuilds the feature arrays wholesale from the current detector
+        rather than writing into the held ones: a replace swap may have
+        changed the encoder's ``max_length`` or attribute set, so the
+        old arrays' shapes mean nothing under the new encoding.
+        """
+        detector = self.entry.detector
+        known = set(detector.prepared.attributes)
+        missing = [c for c in self.columns if c not in known]
+        if missing:
+            raise ConfigurationError(
+                f"the model now serving tenant {self.entry.tenant!r} does "
+                f"not know column(s) {missing} held by session "
+                f"{self.name!r}; reload the session")
+        self.features, self.lengths = _encode(detector, self.values,
+                                              self._attrs)
+        result = self.batcher.predict(self.entry.tenant, self.features,
+                                      self.lengths)
+        self.probabilities = np.array(result.probabilities, copy=True)
+        self.scored_version = result.weights_version
+
+    def _rescore(self, rows: np.ndarray) -> bool:
+        """Re-encode and re-score ``rows`` in place (lock held).
+
+        Returns ``False`` without touching any state when the current
+        detector's encoding no longer matches the held arrays (a
+        replace swap changed the row width under us); the caller must
+        fall back to :meth:`_full_rescore`.
+        """
         detector = self.entry.detector
         features, lengths = _encode(detector,
                                     [self.values[i] for i in rows],
                                     [self._attrs[i] for i in rows])
+        if (features.keys() != self.features.keys()
+                or any(features[name].shape[1:]
+                       != self.features[name].shape[1:]
+                       for name in features)):
+            return False
         for name, part in features.items():
             self.features[name][rows] = part
         self.lengths[rows] = lengths
         result = self.batcher.predict(self.entry.tenant, features, lengths)
         self.probabilities[rows] = result.probabilities
         self.scored_version = result.weights_version
+        return True
 
     def update(self, row: int, column: str, value: str | None) -> dict:
         """Apply one cell edit and re-score only its context window.
@@ -163,17 +194,23 @@ class TableSession:
             self.values[index] = value
             expected = self.scored_version
             full = self.entry.version != expected
-            rows = (np.arange(self.n_feature_rows, dtype=np.int64) if full
-                    else self.affected_feature_rows(row, column))
-            self._rescore(rows)
-            n_rescored = int(rows.shape[0])
-            if not full and self.scored_version != expected:
-                # A hot swap landed between the version check and the
-                # batch execution: the untouched rows are stale under
-                # the new weights, so pay the full pass after all.
-                full = True
-                self._rescore(np.arange(self.n_feature_rows,
-                                        dtype=np.int64))
+            n_rescored = 0
+            if not full:
+                rows = self.affected_feature_rows(row, column)
+                if self._rescore(rows):
+                    n_rescored = int(rows.shape[0])
+                    if self.scored_version != expected:
+                        # A hot swap landed between the version check
+                        # and the batch execution: the untouched rows
+                        # are stale under the new weights, so pay the
+                        # full pass after all.
+                        full = True
+                else:
+                    # A replace swap changed the encoding width between
+                    # the version check and the re-encode.
+                    full = True
+            if full:
+                self._full_rescore()
                 n_rescored += self.n_feature_rows
             now_flagged = bool(self.probabilities[index].argmax() == 1)
             record = {

@@ -114,6 +114,25 @@ class TestStateDict:
         with pytest.raises(ConfigurationError, match="shape"):
             toy.load_state_dict(state)
 
+    def test_shape_mismatch_leaves_weights_untouched(self, rng):
+        # Validation must complete before any parameter is copied: a
+        # rejected state dict may not leave the model half-overwritten
+        # (nor bump its weights_version).
+        toy = Toy(rng)
+        before = {name: param.data.copy()
+                  for name, param in toy.named_parameters()}
+        version = toy.weights_version
+        state = toy.state_dict()
+        for key in state:
+            if not key.startswith("buffer:"):
+                state[key] = state[key] + 42.0
+        state["child.bias"] = np.zeros(5)
+        with pytest.raises(ConfigurationError, match="shape"):
+            toy.load_state_dict(state)
+        for name, param in toy.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+        assert toy.weights_version == version
+
     def test_zero_grad(self, rng):
         toy = Toy(rng)
         out = toy.child(Tensor(np.ones((1, 2))))

@@ -73,12 +73,12 @@ class TestRequestReply:
         reply = daemon.handle_line(b"{not json\n")
         assert reply["code"] == protocol.BAD_REQUEST
 
-    def test_unknown_tenant(self, client):
+    def test_unknown_tenant_is_not_found(self, client):
         reply = client.request({"op": "ping"})  # daemon up
         reply = client.request({"op": "score", "tenant": "ghost",
                                 "cells": [{"attribute": "A", "value": "1"}]})
         assert reply["ok"] is False
-        assert reply["code"] == protocol.BAD_REQUEST
+        assert reply["code"] == protocol.NOT_FOUND
         assert "ghost" in reply["error"]
 
     def test_error_counters(self, daemon, client):
@@ -112,11 +112,12 @@ class TestSessions:
         assert reply["ok"] is True
         assert reply["n_table_rows"] == 5
 
-    def test_unknown_session_is_bad_request(self, client):
+    def test_unknown_session_is_not_found(self, client):
         reply = client.request({"op": "update", "session": "ghost",
                                 "row": 0, "column": "A", "value": "x"})
         assert reply["ok"] is False
-        assert reply["code"] == protocol.BAD_REQUEST
+        assert reply["code"] == protocol.NOT_FOUND
+        assert "ghost" in reply["error"]
 
     def test_feedback_roundtrip(self, client):
         reply = load_paper_table(client)
@@ -179,6 +180,9 @@ class TestShutdown:
             reply = client.request({"op": "shutdown"})
             assert reply["ok"] is True
             assert reply["stopping"] is True
+            # The internal reply-then-drop marker is framing, not
+            # protocol: it must never be serialized onto the wire.
+            assert "_close" not in reply
         daemon.shutdown()
         with pytest.raises(OSError):
             ServingClient(daemon.host, daemon.port).connect()

@@ -116,6 +116,97 @@ class TestHotSwap:
         finally:
             registry.close()
 
+    def test_replace_swap_version_strictly_increases(self, prepared, detector,
+                                                     tmp_path):
+        # Every archive-loaded model sits at weights_version 1, so
+        # swapping architecturally different archives back and forth
+        # must still move the served version forward each time.
+        path_a = tmp_path / "a.npz"
+        path_b = tmp_path / "b.npz"
+        save_detector(detector, path_a)
+        save_detector(build_detector(prepared, architecture="tsb"), path_b)
+        registry = ModelRegistry()
+        try:
+            entry = registry.add(path=path_a)
+            seen = [entry.version]
+            for path in (path_b, path_a, path_b):
+                outcome = registry.publish(DEFAULT_TENANT, path=path)
+                assert outcome["mode"] == "replace"
+                assert entry.version > seen[-1]
+                seen.append(entry.version)
+        finally:
+            registry.close()
+
+    def test_replace_swap_never_serves_stale_cache(self, prepared, detector,
+                                                   tmp_path):
+        # Archives A and B encode identically (same dictionaries) but
+        # differ architecturally; after the swap a warm cache entry
+        # computed under A must not be returned as B's output.
+        path_b = tmp_path / "b.npz"
+        save_detector(build_detector(prepared, architecture="tsb"), path_b)
+        registry = ModelRegistry()
+        try:
+            entry = registry.add(detector=detector)
+            features, lengths = encode_cells(detector, ["80,000", "abc"])
+            before = entry.engine.predict_proba(features, lengths=lengths)
+            assert entry.cache.stats()["size"] > 0
+            outcome = registry.publish(DEFAULT_TENANT, path=path_b)
+            assert outcome["mode"] == "replace"
+            after = entry.engine.predict_proba(features, lengths=lengths)
+            assert not np.array_equal(before, after)
+        finally:
+            registry.close()
+
+    def test_concurrent_publishes_never_corrupt(self, prepared, detector):
+        # Two publishers race in-place and replace swaps on one tenant;
+        # the in-place decision is taken under the swap lock, so no
+        # publish may fail or leave a half-overwritten model: the final
+        # weights must match one candidate exactly.
+        import threading
+
+        from repro.inference import InferenceEngine
+
+        candidates = [(arch, seed) for arch in ("etsb", "tsb")
+                      for seed in (1, 2, 3)]
+        registry = ModelRegistry()
+        try:
+            entry = registry.add(detector=detector)
+            errors = []
+
+            def publisher(arch):
+                try:
+                    for seed in (1, 2, 3):
+                        registry.publish(DEFAULT_TENANT,
+                                         detector=build_detector(
+                                             prepared, architecture=arch,
+                                             seed=seed))
+                except Exception as exc:  # noqa: BLE001 -- surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=publisher, args=(arch,))
+                       for arch in ("etsb", "tsb")]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            features, lengths = encode_cells(detector, ["80,000", "abc"])
+            served = entry.engine.predict_proba(features, lengths=lengths)
+            references = []
+            for arch, seed in candidates:
+                engine = InferenceEngine(
+                    build_detector(prepared, architecture=arch,
+                                   seed=seed).model)
+                try:
+                    references.append(engine.predict_proba(features,
+                                                           lengths=lengths))
+                finally:
+                    engine.close()
+            assert any(np.array_equal(served, reference)
+                       for reference in references)
+        finally:
+            registry.close()
+
     def test_publish_to_create(self, detector):
         registry = ModelRegistry()
         try:

@@ -8,7 +8,19 @@ from repro.serving.registry import DEFAULT_TENANT
 from repro.serving.session import TableSession
 from repro.table import Table
 
-from tests.serving.conftest import build_detector
+from tests.serving.conftest import build_detector, paper_tables
+
+
+def _wider_prepared():
+    """A prepared dataset over the same columns with a larger max_length."""
+    from repro.dataprep import prepare
+
+    dirty, clean = paper_tables()
+    wide_dirty = {c: list(dirty.column(c).values) for c in dirty.column_names}
+    wide_clean = {c: list(clean.column(c).values) for c in clean.column_names}
+    wide_dirty["City"][0] = "Sankt Peter-Ording an der Nordsee"
+    wide_clean["City"][0] = "Sankt Peter-Ording an der Nordsee"
+    return prepare(Table(wide_dirty), Table(wide_clean))
 
 
 @pytest.fixture
@@ -74,6 +86,50 @@ class TestIncrementalUpdate:
         record = session.update(0, session.columns[0], None)
         assert session.values[session.feature_row(0, session.columns[0])] == ""
         assert record["n_rescored"] == 1
+
+    def test_replace_swap_with_wider_encoder_recovers(self, registry,
+                                                      session):
+        # A replace swap that changes the encoder's max_length must
+        # rebuild the session's feature arrays wholesale; writing into
+        # the old-width arrays would raise and wedge the session.
+        wide = _wider_prepared()
+        old_width = session.features["values"].shape[1]
+        assert wide.max_length > old_width
+        registry.publish(DEFAULT_TENANT, detector=build_detector(wide))
+        record = session.update(0, session.columns[0], "x")
+        assert record["full_rescore"] is True
+        assert session.features["values"].shape[1] == wide.max_length
+        # The session keeps working incrementally afterwards.
+        record = session.update(1, session.columns[0], "y")
+        assert record["full_rescore"] is False
+        assert record["n_rescored"] == 1
+
+    def test_mid_update_width_change_falls_back_to_full(self, registry,
+                                                        session):
+        wide = _wider_prepared()
+        registry.publish(DEFAULT_TENANT, detector=build_detector(wide))
+        # Simulate the swap landing after update()'s version check: the
+        # incremental re-encode then produces rows of the new width,
+        # which must trigger the full-rescore fallback, not a crash.
+        session.scored_version = registry.get(DEFAULT_TENANT).version
+        record = session.update(0, session.columns[0], "x")
+        assert record["full_rescore"] is True
+        assert session.features["values"].shape[1] == wide.max_length
+
+    def test_swap_dropping_a_served_column_is_rejected(self, registry,
+                                                       session):
+        from repro.dataprep import prepare
+
+        dirty, clean = paper_tables()
+        dropped = session.columns[0]
+        narrow = prepare(
+            Table({c: list(dirty.column(c).values)
+                   for c in dirty.column_names if c != dropped}),
+            Table({c: list(clean.column(c).values)
+                   for c in clean.column_names if c != dropped}))
+        registry.publish(DEFAULT_TENANT, detector=build_detector(narrow))
+        with pytest.raises(ConfigurationError, match="reload the session"):
+            session.update(0, session.columns[1], "x")
 
     def test_swap_forces_full_rescore(self, prepared, registry, session):
         registry.publish(DEFAULT_TENANT,
