@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test test-equivalence test-chaos bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-serve bench-full report examples clean
+.PHONY: install test test-equivalence test-chaos test-io-fuzz bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-serve bench-full report examples clean
 
 install:
 	pip install -e .
@@ -18,6 +18,12 @@ test-equivalence:
 # to the failure-free run (tests/faults/, marked `chaos`).
 test-chaos:
 	pytest tests/ -m chaos -q
+
+# Deep ingestion fuzz (nightly): the corpus mutation sweep at 10x the
+# tier-1 trial count, plus the full round-trip property suite -- any
+# byte soup must either ingest or raise IngestError, nothing else.
+test-io-fuzz:
+	REPRO_FUZZ_TRIALS=400 pytest tests/io/ -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

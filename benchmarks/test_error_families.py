@@ -1,0 +1,51 @@
+"""Per-error-family degradation matrix (the authentic-error taxonomy).
+
+Starting from one clean generated table, each taxonomy family --
+keyboard typos, correlated multi-column errors, format/locale drift,
+truncation, value swaps, missing markers -- is injected *alone* at a
+fixed rate, and ETSB-RNN plus the Raha baseline are evaluated on every
+single-family pair.  The matrix shows which families each system
+degrades on and is written to ``results/BENCH_error_families.json``
+(plus a rendered text table) for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.datasets import load
+from repro.experiments import (
+    render_family_matrix,
+    run_family_matrix,
+    save_family_matrix,
+)
+
+
+@pytest.mark.benchmark(group="error-families")
+def test_family_matrix(benchmark, scale):
+    # Beers: its clean table has decimal number columns (abv, ounces),
+    # so the format-drift family's locale rewrites actually bite.
+    clean = load("beers", n_rows=scale.dataset_rows("beers"), seed=1).clean
+
+    def run():
+        return run_family_matrix(
+            clean, systems=("etsb", "raha"), rate=0.1,
+            n_runs=max(1, scale.n_runs // 2),
+            n_label_tuples=scale.n_label_tuples,
+            epochs=scale.epochs, seed=0)
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    save_family_matrix(
+        matrix, RESULTS_DIR / "BENCH_error_families.json",
+        settings={"dataset": "beers", "n_rows": clean.n_rows,
+                  "epochs": scale.epochs,
+                  "n_label_tuples": scale.n_label_tuples})
+    write_result("error_families.txt", render_family_matrix(matrix))
+
+    assert set(matrix.families) >= {"keyboard_typo", "correlated",
+                                    "format_drift", "truncation",
+                                    "value_swap"}
+    for family in matrix.families:
+        cell = matrix.cell(family, "etsb")
+        assert cell.n_errors > 0, f"{family}: no errors injected"
+        assert 0.0 <= cell.result.f1.mean <= 1.0

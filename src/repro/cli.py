@@ -176,7 +176,70 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def cmd_detect_path(args) -> int:
+    """Unlabeled mode: ingest real files and score them end to end.
+
+    ``repro detect <path>`` walks a file or folder through the
+    :mod:`repro.io` ingestion layer (encoding/dialect sniffing, ragged
+    recovery, SQLite extraction), profiles every column, and either
+    trains a BiRNN per table against the analyzers' weak labels or, with
+    ``--model``, scores with a saved detector.  No clean table needed.
+    """
+    from repro.errors import IngestError
+    from repro.io import detect_path, scores_table
+
+    detector = None
+    if args.model:
+        detector = load_detector(args.model)
+    try:
+        report, outcomes = detect_path(
+            args.path, detector=detector, architecture=args.arch,
+            n_label_tuples=args.tuples, epochs=args.epochs,
+            cell_type=args.cell, seed=args.seed)
+    except IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for path, reason in report.skipped:
+        print(f"skipped {path}: {reason}", file=sys.stderr)
+    stats = report.stats
+    print(f"ingested {stats.tables_ingested} table(s) from "
+          f"{stats.files_parsed}/{stats.files_discovered} file(s) "
+          f"({stats.encoding_fallbacks} encoding fallbacks, "
+          f"{stats.rows_recovered} ragged rows recovered)", file=sys.stderr)
+    if not outcomes:
+        print("error: nothing ingestable under "
+              f"{args.path}", file=sys.stderr)
+        return 1
+    total_flagged = 0
+    for outcome in outcomes:
+        flagged = outcome.flagged
+        total_flagged += len(flagged)
+        kinds = ", ".join(f"{name}={profile.kind.value}"
+                          for name, profile in outcome.profiles.items())
+        print(f"{outcome.table.name}: {outcome.table.table.n_rows} rows, "
+              f"{len(flagged)} suspicious cells  [{kinds}]", file=sys.stderr)
+    out = scores_table(outcomes, flagged_only=not args.all_cells)
+    if args.out:
+        write_csv(out, args.out)
+        print(f"{out.n_rows} scored cells written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(out.preview(min(out.n_rows, 50)))
+    return 0
+
+
 def cmd_detect(args) -> int:
+    if args.path:
+        if args.dirty or args.clean:
+            print("error: give either a PATH (unlabeled ingestion) or "
+                  "--dirty/--clean (labeled pair), not both",
+                  file=sys.stderr)
+            return 2
+        return cmd_detect_path(args)
+    if not args.dirty or not args.clean:
+        print("error: detect needs a PATH or both --dirty and --clean",
+              file=sys.stderr)
+        return 2
     detector, dirty = _fit_detector(args)
     if args.save:
         save_detector(detector, args.save)
@@ -337,7 +400,7 @@ def cmd_serve(args) -> int:
     """
     from pathlib import Path
 
-    from repro.errors import DataError
+    from repro.errors import DataError, TableError
     from repro.models.serialization import load_detector
 
     if args.daemon:
@@ -362,7 +425,7 @@ def cmd_serve(args) -> int:
         try:
             table = read_csv(path)
             out = _score_csv(detector, table)
-        except (OSError, DataError, ConfigurationError) as exc:
+        except (OSError, DataError, TableError, ConfigurationError) as exc:
             failures.append((str(path), f"{type(exc).__name__}: {exc}"))
             print(f"{path}: FAILED ({failures[-1][1]})", file=sys.stderr)
             continue
@@ -534,12 +597,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_datasets.add_argument("--seed", type=int, default=0)
     p_datasets.set_defaults(fn=cmd_datasets)
 
-    p_detect = sub.add_parser("detect", help="detect errors in a CSV pair")
-    p_detect.add_argument("--dirty", required=True, help="dirty CSV path")
-    p_detect.add_argument("--clean", required=True,
+    p_detect = sub.add_parser(
+        "detect",
+        help="detect errors in a CSV pair, or in real unlabeled files "
+             "(folder/CSV/SQLite) via the ingestion layer")
+    p_detect.add_argument("path", nargs="?", metavar="PATH",
+                          help="file or folder to ingest and score without "
+                               "labels (encoding/dialect sniffing, SQLite "
+                               "extraction, analyzer weak labels)")
+    p_detect.add_argument("--dirty", help="dirty CSV path (labeled mode)")
+    p_detect.add_argument("--clean",
                           help="clean CSV path (labels for sampled tuples)")
     p_detect.add_argument("--out", help="write flagged cells to this CSV")
     p_detect.add_argument("--save", help="save the fitted model (.npz)")
+    p_detect.add_argument("--model",
+                          help="score PATH with this saved detector instead "
+                               "of training on analyzer weak labels")
+    p_detect.add_argument("--all-cells", action="store_true",
+                          help="with PATH: write every cell's score, not "
+                               "just the flagged ones")
     _add_training_flags(p_detect)
     _add_telemetry_flag(p_detect)
     p_detect.set_defaults(fn=cmd_detect)

@@ -23,6 +23,21 @@ from repro.datasets.registry import (
     load,
     load_pair_from_csv,
 )
+from repro.datasets.taxonomy import (
+    FAMILY_ERROR_TYPES,
+    FAMILY_NAMES,
+    ErrorSpec,
+    TaxonomyError,
+    TaxonomyResult,
+    apply_taxonomy,
+    correlated,
+    format_drift,
+    keyboard_typo,
+    missing,
+    pair_from_taxonomy,
+    truncation,
+    value_swap,
+)
 
 __all__ = [
     "DatasetPair",
@@ -35,4 +50,17 @@ __all__ = [
     "dataset_spec",
     "load",
     "load_pair_from_csv",
+    "FAMILY_ERROR_TYPES",
+    "FAMILY_NAMES",
+    "ErrorSpec",
+    "TaxonomyError",
+    "TaxonomyResult",
+    "apply_taxonomy",
+    "correlated",
+    "format_drift",
+    "keyboard_typo",
+    "missing",
+    "pair_from_taxonomy",
+    "truncation",
+    "value_swap",
 ]

@@ -1,0 +1,465 @@
+"""The authentic-error taxonomy: seeded, composable corruption knobs.
+
+The paper's four error categories (MV/T/FI/VAD, :mod:`repro.datasets.errors`)
+cover the benchmark, but real-world dirt is richer.  Following the
+"Generating Authentic Errors via LLMs" direction in PAPERS.md and the
+PAT paper's pattern-drift families, this module adds error *specs* that
+model how errors actually arise:
+
+* :func:`keyboard_typo` -- fat-finger substitutions/insertions drawn
+  from physical QWERTY adjacency, not uniform letters;
+* :func:`correlated` -- multi-column errors that hit several attributes
+  of the *same* row together (a mis-joined or shifted record);
+* :func:`format_drift` -- locale drift: date order flips, decimal
+  commas, thousands separators;
+* :func:`truncation` -- values cut off mid-way (ETL column width);
+* :func:`value_swap` -- two rows' values exchanged within a column.
+
+Every spec is a frozen value object with three contractual properties,
+enforced by ``tests/datasets/test_taxonomy_properties.py``:
+
+1. **Seed determinism** -- a spec's targets and corruptions are a pure
+   function of ``(clean table, seed, spec identity)``.
+2. **Mask exactness** -- :func:`apply_taxonomy` changes exactly the
+   cells in the spec's reported ground-truth mask, nothing else.
+3. **Order-independent composition** -- specs plan against the *clean*
+   table, so applying two specs in either order corrupts the same cell
+   set for the same seeds (overlapping cells keep the later spec's
+   value; the masks are unchanged).
+
+:func:`pair_from_taxonomy` bridges a spec list into a
+:class:`~repro.datasets.base.DatasetPair`, so the taxonomy plugs into
+the existing detector, serving and experiment layers unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.datasets.base import DatasetPair
+from repro.datasets.errors import CellError, ErrorType
+from repro.errors import DataError
+from repro.table import Table
+
+#: Taxonomy family -> nearest paper category (for Table-2 style tags).
+FAMILY_ERROR_TYPES: dict[str, ErrorType] = {
+    "keyboard_typo": ErrorType.TYPO,
+    "correlated": ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY,
+    "format_drift": ErrorType.FORMATTING_ISSUE,
+    "truncation": ErrorType.TYPO,
+    "value_swap": ErrorType.VIOLATED_ATTRIBUTE_DEPENDENCY,
+    "missing": ErrorType.MISSING_VALUE,
+}
+
+#: Physical QWERTY neighbourhoods (lower-case; case is preserved on use).
+QWERTY_ADJACENT: dict[str, str] = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "o",
+    "a": "qsz", "s": "awdx", "d": "sefc", "f": "drgv", "g": "fthb",
+    "h": "gyjn", "j": "hukm", "k": "jil", "l": "ko",
+    "z": "asx", "x": "zsdc", "c": "xdfv", "v": "cfgb", "b": "vghn",
+    "n": "bhjm", "m": "njk",
+    "0": "9", "1": "2q", "2": "13w", "3": "24e", "4": "35r", "5": "46t",
+    "6": "57y", "7": "68u", "8": "79i", "9": "80o",
+}
+
+
+@dataclass(frozen=True)
+class TaxonomyError:
+    """Ledger entry: one planned cell corruption."""
+
+    row: int
+    column: str
+    original: str
+    corrupted: str
+    family: str
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """One corruption knob.
+
+    Attributes
+    ----------
+    family:
+        Taxonomy family name (keys of :data:`FAMILY_ERROR_TYPES`).
+    columns:
+        Target columns.  Correlated specs corrupt all of them per
+        target row; other families treat each column independently.
+    rate:
+        Fraction of rows targeted per column (for :func:`value_swap`,
+        the fraction of rows that end up in a swapped pair).
+    params:
+        Family-specific knobs, as a sorted tuple of ``(key, value)``
+        pairs so the spec stays hashable and its identity stable.
+    """
+
+    family: str
+    columns: tuple[str, ...]
+    rate: float
+    params: tuple[tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.family not in _PLANNERS:
+            raise DataError(
+                f"unknown error family {self.family!r}; "
+                f"known: {sorted(_PLANNERS)}")
+        if not self.columns:
+            raise DataError(f"{self.family}: spec needs at least one column")
+        if not 0.0 <= self.rate <= 1.0:
+            raise DataError(
+                f"{self.family}: rate must be in [0, 1], got {self.rate}")
+
+    def param(self, key: str, default: object = None) -> object:
+        """Look up one family parameter."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def identity(self) -> str:
+        """Stable identity string (part of the per-spec seed)."""
+        return repr((self.family, self.columns, round(self.rate, 9),
+                     self.params))
+
+    def rng(self, seed: int) -> np.random.Generator:
+        """The spec's private generator for a given experiment seed.
+
+        Derived only from ``(seed, identity)``: independent of other
+        specs and of application order, which is what makes composition
+        order-independent.
+        """
+        digest = hashlib.sha256(self.identity().encode("utf-8")).digest()
+        words = np.frombuffer(digest[:16], dtype=np.uint32)
+        return np.random.default_rng([int(seed) & 0xFFFFFFFF, *words.tolist()])
+
+    def plan(self, clean: Table, seed: int) -> list[TaxonomyError]:
+        """Plan this spec's corruptions against the clean table.
+
+        Only genuine changes are returned: a corruption that would
+        leave the value untouched is dropped, so the plan *is* the
+        ground-truth mask.
+        """
+        for column in self.columns:
+            if column not in clean:
+                raise DataError(
+                    f"{self.family}: unknown column {column!r} "
+                    f"(table has {clean.column_names})")
+        entries = _PLANNERS[self.family](self, clean, self.rng(seed))
+        return [e for e in entries if e.corrupted != e.original]
+
+
+@dataclass(frozen=True)
+class TaxonomyResult:
+    """Output of :func:`apply_taxonomy`.
+
+    Attributes
+    ----------
+    dirty:
+        The corrupted table.
+    errors:
+        Every applied corruption, in application order.  A cell
+        targeted by several specs appears once per spec; the dirty
+        value is the last spec's.
+    mask:
+        ``(n_rows, n_cols)`` boolean ground truth (column order of the
+        clean table).
+    by_spec:
+        One ledger per input spec, parallel to the spec list.
+    """
+
+    dirty: Table
+    errors: tuple[TaxonomyError, ...]
+    mask: np.ndarray
+    by_spec: tuple[tuple[TaxonomyError, ...], ...]
+
+
+def _norm(value: object) -> str:
+    return "" if value is None else str(value)
+
+
+def _budget(rate: float, n_rows: int) -> int:
+    return int(round(rate * n_rows))
+
+
+def _sample_rows(rng: np.random.Generator, n_rows: int, count: int) -> list[int]:
+    count = min(count, n_rows)
+    if count <= 0:
+        return []
+    return sorted(int(i) for i in
+                  rng.choice(n_rows, size=count, replace=False))
+
+
+# -- family planners -----------------------------------------------------------
+
+def _plan_keyboard_typo(spec: ErrorSpec, clean: Table,
+                        rng: np.random.Generator) -> list[TaxonomyError]:
+    """Fat-finger edits: substitute or double-press an adjacent key."""
+    out: list[TaxonomyError] = []
+    for column in spec.columns:
+        values = clean.column(column).values
+        for row in _sample_rows(rng, clean.n_rows, _budget(spec.rate,
+                                                           clean.n_rows)):
+            original = _norm(values[row])
+            hittable = [i for i, ch in enumerate(original)
+                        if ch.lower() in QWERTY_ADJACENT]
+            if not hittable:
+                continue
+            i = hittable[int(rng.integers(len(hittable)))]
+            neighbours = QWERTY_ADJACENT[original[i].lower()]
+            key = neighbours[int(rng.integers(len(neighbours)))]
+            if original[i].isupper():
+                key = key.upper()
+            if rng.integers(2):  # substitution
+                corrupted = original[:i] + key + original[i + 1:]
+            else:                # insertion (the doubled near-press)
+                corrupted = original[:i + 1] + key + original[i + 1:]
+            out.append(TaxonomyError(row, column, original, corrupted,
+                                     spec.family))
+    return out
+
+
+def _plan_correlated(spec: ErrorSpec, clean: Table,
+                     rng: np.random.Generator) -> list[TaxonomyError]:
+    """Mis-joined records: a target row takes *all* spec columns from
+    one other (donor) row, so the errors are correlated per row."""
+    columns = {c: clean.column(c).values for c in spec.columns}
+    out: list[TaxonomyError] = []
+    if clean.n_rows < 2:
+        return out
+    for row in _sample_rows(rng, clean.n_rows, _budget(spec.rate,
+                                                       clean.n_rows)):
+        donor = int(rng.integers(clean.n_rows - 1))
+        if donor >= row:
+            donor += 1
+        for column in spec.columns:
+            original = _norm(columns[column][row])
+            corrupted = _norm(columns[column][donor])
+            out.append(TaxonomyError(row, column, original, corrupted,
+                                     spec.family))
+    return out
+
+
+_DATE_RE = re.compile(r"^(\d{1,4})([-/.])(\d{1,2})\2(\d{1,4})$")
+
+
+def _drift_date(value: str) -> str:
+    """Flip the date's field order (ISO -> day-first, else reverse)."""
+    match = _DATE_RE.match(value)
+    if not match:
+        return value
+    a, sep, b, c = match.group(1), match.group(2), match.group(3), match.group(4)
+    new_sep = "/" if sep != "/" else "-"
+    return f"{c}{new_sep}{b}{new_sep}{a}"
+
+
+def _drift_number(value: str) -> str:
+    """Point-decimal -> comma-decimal with dotted thousands groups."""
+    if not re.match(r"^[+-]?\d+(\.\d+)?$", value):
+        return value
+    sign = ""
+    body = value
+    if body[0] in "+-":
+        sign, body = body[0], body[1:]
+    if "." in body:
+        integer, fraction = body.split(".", 1)
+    else:
+        integer, fraction = body, ""
+    groups = []
+    while len(integer) > 3:
+        groups.append(integer[-3:])
+        integer = integer[:-3]
+    grouped = ".".join([integer] + list(reversed(groups))) \
+        if groups else integer
+    return sign + grouped + ("," + fraction if fraction else "")
+
+
+def _plan_format_drift(spec: ErrorSpec, clean: Table,
+                       rng: np.random.Generator) -> list[TaxonomyError]:
+    """Locale drift: date order flips and decimal-comma renderings."""
+    kind = str(spec.param("kind", "auto"))
+    out: list[TaxonomyError] = []
+    for column in spec.columns:
+        values = clean.column(column).values
+        for row in _sample_rows(rng, clean.n_rows, _budget(spec.rate,
+                                                           clean.n_rows)):
+            original = _norm(values[row])
+            if kind == "date":
+                corrupted = _drift_date(original)
+            elif kind == "number":
+                corrupted = _drift_number(original)
+            else:  # auto: whichever rewrite bites
+                corrupted = _drift_date(original)
+                if corrupted == original:
+                    corrupted = _drift_number(original)
+            out.append(TaxonomyError(row, column, original, corrupted,
+                                     spec.family))
+    return out
+
+
+def _plan_truncation(spec: ErrorSpec, clean: Table,
+                     rng: np.random.Generator) -> list[TaxonomyError]:
+    """ETL-style cutoffs: keep a strict prefix of the value."""
+    min_keep = int(spec.param("min_keep", 1))
+    out: list[TaxonomyError] = []
+    for column in spec.columns:
+        values = clean.column(column).values
+        for row in _sample_rows(rng, clean.n_rows, _budget(spec.rate,
+                                                           clean.n_rows)):
+            original = _norm(values[row])
+            if len(original) <= min_keep:
+                continue
+            keep = int(rng.integers(min_keep, len(original)))
+            out.append(TaxonomyError(row, column, original, original[:keep],
+                                     spec.family))
+    return out
+
+
+def _plan_value_swap(spec: ErrorSpec, clean: Table,
+                     rng: np.random.Generator) -> list[TaxonomyError]:
+    """Exchange two rows' values within a column (both cells corrupt)."""
+    out: list[TaxonomyError] = []
+    for column in spec.columns:
+        values = clean.column(column).values
+        n_pairs = _budget(spec.rate, clean.n_rows) // 2
+        chosen = _sample_rows(rng, clean.n_rows, 2 * n_pairs)
+        rng.shuffle(chosen)
+        for a, b in zip(chosen[0::2], chosen[1::2]):
+            left, right = _norm(values[a]), _norm(values[b])
+            out.append(TaxonomyError(a, column, left, right, spec.family))
+            out.append(TaxonomyError(b, column, right, left, spec.family))
+    return out
+
+
+def _plan_missing(spec: ErrorSpec, clean: Table,
+                  rng: np.random.Generator) -> list[TaxonomyError]:
+    """Explicit missing markers (the paper's MV, for composition)."""
+    marker = str(spec.param("marker", "NaN"))
+    out: list[TaxonomyError] = []
+    for column in spec.columns:
+        values = clean.column(column).values
+        for row in _sample_rows(rng, clean.n_rows, _budget(spec.rate,
+                                                           clean.n_rows)):
+            out.append(TaxonomyError(row, column, _norm(values[row]), marker,
+                                     spec.family))
+    return out
+
+
+_PLANNERS = {
+    "keyboard_typo": _plan_keyboard_typo,
+    "correlated": _plan_correlated,
+    "format_drift": _plan_format_drift,
+    "truncation": _plan_truncation,
+    "value_swap": _plan_value_swap,
+    "missing": _plan_missing,
+}
+
+FAMILY_NAMES: tuple[str, ...] = tuple(sorted(_PLANNERS))
+
+
+# -- spec factories ------------------------------------------------------------
+
+def keyboard_typo(columns: Sequence[str], rate: float) -> ErrorSpec:
+    """QWERTY-adjacent substitutions and doubled presses."""
+    return ErrorSpec("keyboard_typo", tuple(columns), rate)
+
+
+def correlated(columns: Sequence[str], rate: float) -> ErrorSpec:
+    """Row-correlated multi-column errors (requires >= 2 columns)."""
+    if len(columns) < 2:
+        raise DataError("correlated errors need at least two columns")
+    return ErrorSpec("correlated", tuple(columns), rate)
+
+
+def format_drift(columns: Sequence[str], rate: float,
+                 kind: str = "auto") -> ErrorSpec:
+    """Locale drift (``kind``: ``"date"``, ``"number"`` or ``"auto"``)."""
+    if kind not in ("date", "number", "auto"):
+        raise DataError(f"format_drift kind must be date/number/auto, "
+                        f"got {kind!r}")
+    return ErrorSpec("format_drift", tuple(columns), rate,
+                     params=(("kind", kind),))
+
+
+def truncation(columns: Sequence[str], rate: float,
+               min_keep: int = 1) -> ErrorSpec:
+    """Prefix truncation, keeping at least ``min_keep`` characters."""
+    if min_keep < 1:
+        raise DataError(f"min_keep must be >= 1, got {min_keep}")
+    return ErrorSpec("truncation", tuple(columns), rate,
+                     params=(("min_keep", min_keep),))
+
+
+def value_swap(columns: Sequence[str], rate: float) -> ErrorSpec:
+    """Swap values between row pairs within each column."""
+    return ErrorSpec("value_swap", tuple(columns), rate)
+
+
+def missing(columns: Sequence[str], rate: float,
+            marker: str = "NaN") -> ErrorSpec:
+    """Explicit missing-value markers."""
+    return ErrorSpec("missing", tuple(columns), rate,
+                     params=(("marker", marker),))
+
+
+# -- application ---------------------------------------------------------------
+
+def apply_taxonomy(clean: Table, specs: Sequence[ErrorSpec],
+                   seed: int = 0) -> TaxonomyResult:
+    """Apply every spec to ``clean`` (see the module contract).
+
+    Each spec plans against the clean table under its private seeded
+    generator; plans are then materialised in spec order, so the cell
+    *sets* are order-independent and only overlapping cells' final
+    values depend on order.
+    """
+    if not specs:
+        raise DataError("apply_taxonomy needs at least one spec")
+    positions = {name: j for j, name in enumerate(clean.column_names)}
+    columns = {name: list(clean.column(name).values)
+               for name in clean.column_names}
+    mask = np.zeros((clean.n_rows, clean.n_cols), dtype=bool)
+    ledger: list[TaxonomyError] = []
+    by_spec: list[tuple[TaxonomyError, ...]] = []
+    for spec in specs:
+        plan = spec.plan(clean, seed)
+        for entry in plan:
+            columns[entry.column][entry.row] = entry.corrupted
+            mask[entry.row, positions[entry.column]] = True
+        ledger.extend(plan)
+        by_spec.append(tuple(plan))
+    return TaxonomyResult(dirty=Table(columns), errors=tuple(ledger),
+                          mask=mask, by_spec=tuple(by_spec))
+
+
+def pair_from_taxonomy(name: str, clean: Table, specs: Sequence[ErrorSpec],
+                       seed: int = 0) -> DatasetPair:
+    """Build a :class:`DatasetPair` by corrupting ``clean`` with ``specs``.
+
+    The ledger maps each family to its nearest paper category so
+    ledger-based analyses (:func:`repro.experiments.error_type_recall`)
+    keep working; a cell hit by several specs is recorded once, under
+    the last spec that wrote it.
+    """
+    result = apply_taxonomy(clean, specs, seed=seed)
+    last_write: dict[tuple[int, str], TaxonomyError] = {
+        (e.row, e.column): e for e in result.errors
+    }
+    cell_errors = tuple(
+        CellError(row=e.row, attribute=e.column, original=e.original,
+                  corrupted=e.corrupted,
+                  error_type=FAMILY_ERROR_TYPES[e.family])
+        for e in last_write.values()
+    )
+    families = []
+    for spec in specs:
+        tag = FAMILY_ERROR_TYPES[spec.family].value
+        if tag not in families:
+            families.append(tag)
+    return DatasetPair(name=name, dirty=result.dirty, clean=clean,
+                       errors=cell_errors, error_types=tuple(families))

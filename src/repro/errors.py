@@ -58,6 +58,11 @@ class DataError(ReproError):
     """Base class for errors in data preparation and dataset generation."""
 
 
+class IngestError(DataError):
+    """A real-world file could not be ingested (empty payload,
+    unreadable database, or a requested table that does not exist)."""
+
+
 class EncodingError(DataError):
     """A value could not be encoded with the available dictionaries."""
 

@@ -22,6 +22,14 @@ from repro.experiments.analysis import (
     hardest_attributes,
     render_breakdown,
 )
+from repro.experiments.families import (
+    FamilyCell,
+    FamilyMatrix,
+    default_family_specs,
+    render_family_matrix,
+    run_family_matrix,
+    save_family_matrix,
+)
 from repro.experiments.journal import TaskJournal, task_key
 from repro.experiments.runner import (
     ExperimentResult,
@@ -50,6 +58,12 @@ __all__ = [
     "run_experiment_matrix",
     "run_raha_baseline",
     "run_augmentation_baseline",
+    "FamilyCell",
+    "FamilyMatrix",
+    "default_family_specs",
+    "render_family_matrix",
+    "run_family_matrix",
+    "save_family_matrix",
     "AttributeBreakdown",
     "attribute_breakdown",
     "error_type_recall",

@@ -1,0 +1,139 @@
+"""Recursive file discovery with extension and content sniffing.
+
+``discover(path)`` walks a file or directory tree in sorted order and
+classifies every regular file as delimited text, a SQLite database, or
+skipped (with the reason recorded).  Classification uses both the
+extension *and* the first bytes: a ``.csv`` that starts with the SQLite
+magic is a database, and an extensionless export that decodes as
+delimiter-consistent text is a table.  Hidden files and directories
+(dotfiles) are skipped, matching the usual exporter conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import IngestError
+from repro.io.sniff import (
+    DELIMITER_CANDIDATES,
+    SQLITE_MAGIC,
+    detect_encoding,
+)
+
+#: Extensions treated as delimited text without further evidence.
+DELIMITED_EXTENSIONS = (".csv", ".tsv", ".txt", ".tab")
+
+#: Extensions treated as SQLite databases (still magic-checked).
+SQLITE_EXTENSIONS = (".db", ".sqlite", ".sqlite3")
+
+#: Bytes sampled for content sniffing.
+_SNIFF_BYTES = 8192
+
+
+@dataclass(frozen=True)
+class DiscoveredFile:
+    """One classified file.
+
+    Attributes
+    ----------
+    path:
+        The file.
+    kind:
+        ``"delimited"``, ``"sqlite"`` or ``"skipped"``.
+    reason:
+        Why a skipped file was skipped (empty for ingestable kinds).
+    """
+
+    path: Path
+    kind: str
+    reason: str = ""
+
+
+#: C0 control bytes that never appear in text files (TAB/LF/CR excluded).
+_CONTROL_BYTES = bytes(b for b in range(0x20)
+                       if b not in (0x09, 0x0A, 0x0D))
+
+
+def _looks_binary(sample: bytes) -> bool:
+    """Binary heuristic: control-byte-heavy content that is not
+    UTF-16/32 text (those are NUL-heavy by construction)."""
+    if not sample:
+        return False
+    detection = detect_encoding(sample)
+    if detection.encoding.startswith(("utf-16", "utf-32")):
+        return False
+    if sample.count(0) / len(sample) > 0.05:
+        return True
+    n_control = sum(sample.count(b) for b in _CONTROL_BYTES)
+    return n_control / len(sample) > 0.10
+
+
+def _delimiter_consistent(sample: bytes) -> bool:
+    """Whether the decoded sample splits consistently on some delimiter."""
+    detection = detect_encoding(sample)
+    try:
+        text = detection.decode(sample)
+    except (UnicodeDecodeError, UnicodeError):
+        text = sample.decode("latin-1")
+    lines = [line for line in text.splitlines()[:16] if line.strip()]
+    if not lines:
+        return False
+    for delimiter in DELIMITER_CANDIDATES:
+        counts = [line.count(delimiter) for line in lines]
+        if counts[0] > 0 and all(c == counts[0] for c in counts):
+            return True
+    return False
+
+
+def classify_file(path: Path) -> DiscoveredFile:
+    """Classify one regular file by extension plus content sniffing."""
+    try:
+        with path.open("rb") as handle:
+            sample = handle.read(_SNIFF_BYTES)
+    except OSError as exc:
+        return DiscoveredFile(path, "skipped", f"unreadable: {exc}")
+    if sample.startswith(SQLITE_MAGIC):
+        return DiscoveredFile(path, "sqlite")
+    suffix = path.suffix.lower()
+    if suffix in SQLITE_EXTENSIONS:
+        return DiscoveredFile(path, "skipped",
+                              "sqlite extension without SQLite magic")
+    if not sample:
+        return DiscoveredFile(path, "skipped", "empty file")
+    if _looks_binary(sample):
+        return DiscoveredFile(path, "skipped", "binary content")
+    if suffix in DELIMITED_EXTENSIONS:
+        return DiscoveredFile(path, "delimited")
+    if _delimiter_consistent(sample):
+        return DiscoveredFile(path, "delimited")
+    return DiscoveredFile(path, "skipped",
+                          f"unrecognized extension {suffix or '(none)'} "
+                          "and no consistent delimiter")
+
+
+def discover(root: str | Path) -> list[DiscoveredFile]:
+    """Walk ``root`` (file or directory) and classify every file.
+
+    Directories are traversed recursively in sorted order for
+    reproducible reports; dotfiles and dot-directories are ignored.
+
+    Raises
+    ------
+    IngestError
+        When ``root`` does not exist.
+    """
+    root = Path(root)
+    if not root.exists():
+        raise IngestError(f"{root}: no such file or directory")
+    if root.is_file():
+        return [classify_file(root)]
+    out: list[DiscoveredFile] = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        if any(part.startswith(".") for part in
+               path.relative_to(root).parts):
+            continue
+        out.append(classify_file(path))
+    return out

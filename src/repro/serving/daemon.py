@@ -278,12 +278,27 @@ class ServingDaemon:
         )
 
     def _table_from_request(self, request: dict) -> Table:
+        if "path" in request:
+            # Real-file route: encoding/dialect sniffing, ragged-row
+            # recovery and SQLite extraction (repro.io).  One file only;
+            # multi-table SQLite databases need an explicit "table".
+            from repro.io import read_file
+
+            wanted = request.get("table")
+            ingested = read_file(request["path"],
+                                 table_names=[wanted] if wanted else None)
+            if len(ingested) > 1:
+                raise ConfigurationError(
+                    f"{request['path']} holds {len(ingested)} tables "
+                    f"({[t.name for t in ingested]}); pick one with 'table'")
+            return ingested[0].table
         if "csv" in request:
             return read_csv(request["csv"])
         columns = request.get("columns")
         if not isinstance(columns, dict) or not columns:
             raise ConfigurationError(
-                "load_table needs 'csv' (a path) or 'columns' "
+                "load_table needs 'path' (a real file: sniffed CSV/TSV or "
+                "SQLite), 'csv' (a UTF-8 CSV path) or 'columns' "
                 "(name -> list of values)")
         return Table({name: [None if v is None else str(v) for v in vals]
                       for name, vals in columns.items()})

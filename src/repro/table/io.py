@@ -35,26 +35,39 @@ def read_csv(path: str | Path, missing_markers: Sequence[str] = (),
     Raises
     ------
     CSVFormatError
-        On an empty file, duplicate header names, or ragged rows.
+        On an empty file, duplicate header names, ragged rows, or bytes
+        that are not valid under ``encoding``.  (Decode failures must
+        surface as CSVFormatError, not UnicodeDecodeError: the latter is
+        a ValueError, which callers handling "bad input file" via
+        OSError/DataError would miss.  For sniffed-encoding reading of
+        real files use :func:`repro.io.read_file` instead.)
     """
     path = Path(path)
     markers = set(missing_markers)
-    with path.open(newline="", encoding=encoding) as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise CSVFormatError(f"{path}: file is empty") from None
-        if len(set(header)) != len(header):
-            raise CSVFormatError(f"{path}: duplicate column names in header {header}")
-        data: dict[str, list[str | None]] = {name: [] for name in header}
-        for line_no, row in enumerate(reader, start=2):
-            if len(row) != len(header):
+    try:
+        with path.open(newline="", encoding=encoding) as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise CSVFormatError(f"{path}: file is empty") from None
+            if len(set(header)) != len(header):
                 raise CSVFormatError(
-                    f"{path}:{line_no}: expected {len(header)} cells, got {len(row)}"
-                )
-            for name, cell in zip(header, row):
-                data[name].append(None if cell in markers else cell)
+                    f"{path}: duplicate column names in header {header}")
+            data: dict[str, list[str | None]] = {name: [] for name in header}
+            for line_no, row in enumerate(reader, start=2):
+                if len(row) != len(header):
+                    raise CSVFormatError(
+                        f"{path}:{line_no}: expected {len(header)} cells, "
+                        f"got {len(row)}"
+                    )
+                for name, cell in zip(header, row):
+                    data[name].append(None if cell in markers else cell)
+    except UnicodeDecodeError as exc:
+        raise CSVFormatError(
+            f"{path}: not valid {encoding} (byte offset {exc.start}); "
+            f"try 'repro detect' / repro.io.read_file, which sniff the "
+            f"encoding") from exc
     return Table(data)
 
 

@@ -1,0 +1,210 @@
+"""Property tests for the authentic-error taxonomy's three contracts.
+
+1. Seed determinism: same (clean table, specs, seed) -> identical dirty
+   table, ledger and mask; different seeds diverge.
+2. Mask exactness: the dirty table differs from the clean one at
+   exactly the masked cells, never outside them.
+3. Order-independent composition: specs plan against the clean table,
+   so any permutation corrupts the same cell set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    FAMILY_NAMES,
+    apply_taxonomy,
+    correlated,
+    format_drift,
+    keyboard_typo,
+    missing,
+    pair_from_taxonomy,
+    truncation,
+    value_swap,
+)
+from repro.datasets.errors import ErrorType
+from repro.errors import DataError
+from repro.table import Table
+
+_WORDS = ("alpha", "bravo", "Charlie", "delta", "Echo", "foxtrot",
+          "golf", "Hotel", "india", "Juliet")
+
+
+def _clean_table(n_rows: int) -> Table:
+    return Table({
+        "id": [f"AB-{1000 + i}" for i in range(n_rows)],
+        "date": [f"2021-0{1 + i % 9}-{10 + i % 19}" for i in range(n_rows)],
+        "amount": [f"{100 + i}.{i % 10}5" for i in range(n_rows)],
+        "word": [_WORDS[i % len(_WORDS)] for i in range(n_rows)],
+    })
+
+
+def _all_specs(rate: float):
+    return [
+        keyboard_typo(["word"], rate),
+        correlated(["id", "word"], rate),
+        format_drift(["date"], rate, kind="date"),
+        format_drift(["amount"], rate, kind="number"),
+        truncation(["id"], rate),
+        value_swap(["amount"], rate),
+        missing(["word"], rate / 2),
+    ]
+
+
+def _diff_mask(clean: Table, dirty: Table) -> np.ndarray:
+    out = np.zeros((clean.n_rows, clean.n_cols), dtype=bool)
+    for j, name in enumerate(clean.column_names):
+        cv = clean.column(name).values
+        dv = dirty.column(name).values
+        for i in range(clean.n_rows):
+            a = "" if cv[i] is None else str(cv[i])
+            b = "" if dv[i] is None else str(dv[i])
+            out[i, j] = a != b
+    return out
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       n_rows=st.integers(min_value=5, max_value=60),
+       rate=st.floats(min_value=0.05, max_value=0.5))
+@settings(max_examples=40, deadline=None)
+def test_seed_determinism(seed, n_rows, rate):
+    clean = _clean_table(n_rows)
+    specs = _all_specs(rate)
+    a = apply_taxonomy(clean, specs, seed=seed)
+    b = apply_taxonomy(clean, specs, seed=seed)
+    assert a.errors == b.errors
+    assert np.array_equal(a.mask, b.mask)
+    for name in clean.column_names:
+        assert a.dirty.column(name).values == b.dirty.column(name).values
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       n_rows=st.integers(min_value=5, max_value=60),
+       rate=st.floats(min_value=0.05, max_value=0.5))
+@settings(max_examples=40, deadline=None)
+def test_mask_exactness(seed, n_rows, rate):
+    """Cells outside the reported mask are untouched; cells inside it
+    all genuinely differ from the clean original."""
+    clean = _clean_table(n_rows)
+    result = apply_taxonomy(clean, _all_specs(rate), seed=seed)
+    assert np.array_equal(_diff_mask(clean, result.dirty), result.mask)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       n_rows=st.integers(min_value=5, max_value=40),
+       rate=st.floats(min_value=0.05, max_value=0.5),
+       order=st.permutations(range(7)))
+@settings(max_examples=40, deadline=None)
+def test_composition_order_independent_cell_set(seed, n_rows, rate, order):
+    """Any spec permutation corrupts the same cell set under one seed."""
+    clean = _clean_table(n_rows)
+    specs = _all_specs(rate)
+    baseline = apply_taxonomy(clean, specs, seed=seed)
+    permuted = apply_taxonomy(clean, [specs[i] for i in order], seed=seed)
+    assert np.array_equal(baseline.mask, permuted.mask)
+    # Per-spec plans are identical objects regardless of position.
+    by_spec = {id(specs[i]): plan for i, plan in
+               zip(order, permuted.by_spec)}
+    for spec, plan in zip(specs, baseline.by_spec):
+        assert by_spec[id(spec)] == plan
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_seed_sensitivity(seed):
+    clean = _clean_table(40)
+    specs = _all_specs(0.3)
+    a = apply_taxonomy(clean, specs, seed=seed)
+    b = apply_taxonomy(clean, specs, seed=seed + 1)
+    assert not np.array_equal(a.mask, b.mask)
+
+
+def test_every_family_produces_errors():
+    clean = _clean_table(60)
+    result = apply_taxonomy(clean, _all_specs(0.4), seed=3)
+    assert {e.family for e in result.errors} == set(FAMILY_NAMES)
+
+
+def test_specs_never_touch_other_columns():
+    clean = _clean_table(50)
+    result = apply_taxonomy(clean, [keyboard_typo(["word"], 0.5)], seed=1)
+    positions = {n: j for j, n in enumerate(clean.column_names)}
+    touched = {j for j in range(clean.n_cols) if result.mask[:, j].any()}
+    assert touched <= {positions["word"]}
+
+
+def test_correlated_errors_hit_all_columns_of_a_row():
+    clean = _clean_table(50)
+    result = apply_taxonomy(clean, [correlated(["id", "word"], 0.3)], seed=5)
+    rows_id = {e.row for e in result.errors if e.column == "id"}
+    rows_word = {e.row for e in result.errors if e.column == "word"}
+    # The donor row's value can coincide for one column; every planned
+    # row must show up in at least one column, and most in both.
+    assert rows_id or rows_word
+    assert len(rows_id & rows_word) >= max(1, len(rows_id | rows_word) // 2)
+
+
+def test_value_swap_errors_come_in_pairs():
+    clean = _clean_table(40)
+    result = apply_taxonomy(clean, [value_swap(["amount"], 0.5)], seed=2)
+    corrupted_to_original = {}
+    for e in result.errors:
+        corrupted_to_original[e.row] = (e.original, e.corrupted)
+    for row, (original, swapped) in corrupted_to_original.items():
+        partner = next(r for r, (o, c) in corrupted_to_original.items()
+                       if o == swapped and c == original and r != row)
+        assert partner is not None
+
+
+def test_format_drift_rewrites_are_parseable_variants():
+    clean = _clean_table(50)
+    result = apply_taxonomy(
+        clean, [format_drift(["date"], 0.5, kind="date"),
+                format_drift(["amount"], 0.5, kind="number")], seed=4)
+    for e in result.errors:
+        if e.column == "date":
+            assert "/" in e.corrupted or "-" in e.corrupted
+        else:
+            assert "," in e.corrupted  # decimal comma drift
+
+
+def test_truncation_yields_strict_prefixes():
+    clean = _clean_table(50)
+    result = apply_taxonomy(clean, [truncation(["id"], 0.5)], seed=6)
+    assert result.errors
+    for e in result.errors:
+        assert e.original.startswith(e.corrupted)
+        assert 1 <= len(e.corrupted) < len(e.original)
+
+
+def test_pair_bridge_maps_families_to_paper_types():
+    clean = _clean_table(50)
+    pair = pair_from_taxonomy("t", clean, _all_specs(0.3), seed=7)
+    assert pair.dirty.shape == clean.shape
+    assert len(pair.errors) == int(
+        apply_taxonomy(clean, _all_specs(0.3), seed=7).mask.sum())
+    assert set(pair.error_types) <= {t.value for t in ErrorType}
+    # The bridge keeps the ledger consistent with the tables.
+    for error in pair.errors:
+        assert pair.dirty.column(error.attribute).values[error.row] \
+            == error.corrupted
+
+
+def test_spec_validation():
+    with pytest.raises(DataError):
+        keyboard_typo([], 0.1)
+    with pytest.raises(DataError):
+        keyboard_typo(["word"], 1.5)
+    with pytest.raises(DataError):
+        correlated(["word"], 0.1)
+    with pytest.raises(DataError):
+        format_drift(["date"], 0.1, kind="bogus")
+    with pytest.raises(DataError):
+        truncation(["id"], 0.1, min_keep=0)
+    with pytest.raises(DataError):
+        apply_taxonomy(_clean_table(5), [], seed=0)
+    with pytest.raises(DataError):
+        apply_taxonomy(_clean_table(5), [keyboard_typo(["nope"], 0.1)],
+                       seed=0)

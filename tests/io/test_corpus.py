@@ -1,0 +1,208 @@
+"""Corpus regression suite: adversarial real-world files, golden outcomes.
+
+``tests/io/corpus/`` holds hand-built nasty files -- empty, header-only,
+mixed encodings, NUL bytes, single column, duplicate headers, BOM plus
+embedded newlines, BOM-less UTF-16, truncated SQLite, binary junk with a
+``.csv`` extension.  Each case asserts the exact recovery behaviour, and
+a mutation sweep asserts the no-crash floor: any random byte corruption
+of any corpus file either ingests or raises :class:`IngestError`, never
+anything else.
+"""
+
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.errors import IngestError
+from repro.io import (
+    classify_file,
+    ingest_path,
+    read_delimited,
+    read_delimited_bytes,
+    read_file,
+    read_sqlite,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: Mutation trials per corpus file.  Tier-1 keeps this small; the
+#: nightly `make test-io-fuzz` target raises it by an order of
+#: magnitude via the environment.
+FUZZ_TRIALS = int(os.environ.get("REPRO_FUZZ_TRIALS", "40"))
+
+
+def test_corpus_is_present():
+    assert len(list(CORPUS.iterdir())) >= 14
+
+
+def test_empty_file_skipped():
+    entry = classify_file(CORPUS / "empty.csv")
+    assert entry.kind == "skipped"
+    assert "empty" in entry.reason
+    with pytest.raises(IngestError):
+        read_file(CORPUS / "empty.csv")
+
+
+def test_header_only_yields_zero_row_table():
+    ingested = read_delimited(CORPUS / "header_only.csv")
+    assert ingested.table.column_names == ["id", "name", "amount"]
+    assert ingested.table.n_rows == 0
+
+
+def test_mixed_encoding_falls_back_to_latin1():
+    """A file mixing UTF-8 and Latin-1 bytes cannot be valid UTF-8; the
+    Latin-1 floor decodes every byte (mojibake beats a crash)."""
+    ingested = read_delimited(CORPUS / "mixed_encoding.csv")
+    assert ingested.encoding == "latin-1"
+    assert ingested.n_encoding_fallbacks == 2
+    assert ingested.table.n_rows == 2
+    # The Latin-1 row decodes exactly; the UTF-8 row survives as mojibake.
+    assert ingested.table.column("city").values[1] == "Málaga"
+
+
+def test_nul_bytes_stripped_and_counted():
+    ingested = read_delimited(CORPUS / "nul_bytes.csv")
+    assert ingested.n_stripped_nuls == 1
+    assert list(ingested.table.column("name").values) == ["alpha", "beta"]
+
+
+def test_single_column_file():
+    ingested = read_delimited(CORPUS / "one_column.csv")
+    assert ingested.table.column_names == ["name"]
+    assert list(ingested.table.column("name").values) == ["alpha", "beta", "gamma"]
+
+
+def test_duplicate_and_empty_headers_renamed():
+    ingested = read_delimited(CORPUS / "dup_headers.csv")
+    assert ingested.table.column_names == ["id", "name", "name_2", "column_4"]
+    assert ingested.n_renamed_columns == 2
+    assert list(ingested.table.column("name_2").values) == ["b", "e"]
+
+
+def test_ragged_rows_padded_and_folded():
+    ingested = read_delimited(CORPUS / "ragged.csv")
+    assert ingested.table.n_rows == 3
+    assert ingested.n_recovered_rows == 2
+    # Short row pads with None...
+    assert ingested.table.column("c").values[0] is None
+    # ...overlong row folds its surplus into the last column.
+    assert ingested.table.column("c").values[1] == "5,6,7"
+
+
+def test_utf16_without_bom_detected():
+    ingested = read_delimited(CORPUS / "utf16_nobom.csv")
+    assert ingested.encoding == "utf-16-le"
+    assert list(ingested.table.column("k").values) == ["x", "y"]
+
+
+def test_bom_with_embedded_quotes_and_newlines():
+    ingested = read_delimited(CORPUS / "bom_quotes.csv")
+    assert ingested.encoding == "utf-8-sig"
+    assert list(ingested.table.column("a").values) == ["line1\nline2"]
+    assert list(ingested.table.column("b").values) == ['say "hi"']
+
+
+def test_semicolon_dialect_with_decimal_commas():
+    ingested = read_delimited(CORPUS / "semicolon.csv")
+    assert ingested.dialect.delimiter == ";"
+    assert list(ingested.table.column("amount").values) == ["3,14", "2,72"]
+
+
+def test_binary_junk_with_csv_extension_skipped():
+    entry = classify_file(CORPUS / "junk.csv")
+    assert entry.kind == "skipped"
+    assert "binary" in entry.reason
+
+
+def test_sqlite_two_tables_with_nulls_and_blobs():
+    tables = read_sqlite(CORPUS / "two_tables.sqlite")
+    names = {t.name for t in tables}
+    assert names == {"two_tables:people", "two_tables:blobs"}
+    people = next(t for t in tables if t.name.endswith("people"))
+    assert list(people.table.column("name").values) == ["ann", None]
+    # Blob bytes decode with replacement, never raise.
+    blobs = next(t for t in tables if t.name.endswith("blobs"))
+    assert isinstance(blobs.table.column("payload").values[0], str)
+
+
+def test_sqlite_table_selection():
+    tables = read_sqlite(CORPUS / "two_tables.sqlite",
+                         table_names=["people"])
+    assert len(tables) == 1
+    with pytest.raises(IngestError):
+        read_sqlite(CORPUS / "two_tables.sqlite", table_names=["nope"])
+
+
+def test_truncated_sqlite_raises_ingest_error():
+    with pytest.raises(IngestError):
+        read_sqlite(CORPUS / "truncated.sqlite")
+
+
+def test_pipes_without_trailing_newline():
+    ingested = read_delimited(CORPUS / "pipes.txt")
+    assert ingested.dialect.delimiter == "|"
+    assert ingested.table.n_rows == 1
+    assert list(ingested.table.column("c").values) == ["3"]
+
+
+def test_blank_lines_only_raises():
+    with pytest.raises(IngestError):
+        read_delimited(CORPUS / "blank_lines.csv")
+
+
+def test_whole_corpus_ingests_without_crash():
+    """The folder sweep: every file either parses or is skipped with a
+    reason; the report accounts for all of them."""
+    report = ingest_path(CORPUS)
+    assert report.stats.files_discovered == len(list(CORPUS.iterdir()))
+    assert report.stats.files_parsed + report.stats.files_skipped \
+        == report.stats.files_discovered
+    assert report.stats.tables_ingested >= 10
+    for _, reason in report.skipped:
+        assert reason
+
+
+@pytest.mark.parametrize("source", sorted(
+    p.name for p in CORPUS.iterdir() if p.is_file()))
+def test_mutation_sweep_never_crashes(tmp_path, source):
+    """Fuzz floor: random byte mutations of every corpus file either
+    ingest or raise IngestError -- no other exception type escapes."""
+    data = (CORPUS / source).read_bytes()
+    rng = random.Random(f"fuzz:{source}")
+    for trial in range(FUZZ_TRIALS):
+        mutated = bytearray(data)
+        for _ in range(rng.randint(1, 8)):
+            action = rng.randrange(3)
+            if action == 0 and mutated:                       # flip
+                i = rng.randrange(len(mutated))
+                mutated[i] = rng.randrange(256)
+            elif action == 1:                                 # insert
+                i = rng.randint(0, len(mutated))
+                mutated[i:i] = bytes([rng.randrange(256)])
+            elif mutated:                                     # delete
+                i = rng.randrange(len(mutated))
+                del mutated[i]
+        target = tmp_path / f"{trial}_{source}"
+        target.write_bytes(bytes(mutated))
+        try:
+            read_file(target)
+        except IngestError:
+            pass  # rejection with a reason is a valid outcome
+        target.unlink()
+
+
+def test_random_bytes_never_crash(tmp_path):
+    """Pure-noise files of assorted sizes: parse or IngestError."""
+    rng = random.Random("fuzz:random-bytes")
+    for trial, size in enumerate((0, 1, 2, 3, 15, 16, 17, 100, 4096)):
+        payload = bytes(rng.randrange(256) for _ in range(size))
+        for suffix in (".csv", ".sqlite", ".bin"):
+            target = tmp_path / f"noise{trial}{suffix}"
+            target.write_bytes(payload)
+            try:
+                read_file(target)
+            except IngestError:
+                pass
+            target.unlink()
