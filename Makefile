@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test test-equivalence test-chaos test-io-fuzz bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-serve bench-full report examples clean
+.PHONY: install test test-equivalence test-chaos test-io-fuzz test-conformance bench bench-smoke bench-bucketing bench-dedup bench-parallel bench-serve bench-ensemble bench-full report examples clean
 
 install:
 	pip install -e .
@@ -61,6 +61,19 @@ bench-parallel:
 # (writes BENCH_serve.json).
 bench-serve:
 	pytest benchmarks/test_serve_bench.py -m bench_smoke -q
+
+# Detector-registry conformance pass: every registered family (neural,
+# Raha, augmentation, ensemble) against the uniform Detector contract,
+# on both autograd backends (tests/detectors/).
+test-conformance:
+	pytest tests/detectors/ -q
+	REPRO_NN_BACKEND=graph pytest tests/detectors/test_conformance.py -q
+
+# Calibrated-fusion gate: the ensemble must match or beat its best
+# member on >= 4 of the 6 golden datasets, with the attention family as
+# an ablation row (writes BENCH_ensemble.json).
+bench-ensemble:
+	pytest benchmarks/test_ensemble.py --benchmark-only -q
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only

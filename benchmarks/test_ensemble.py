@@ -1,0 +1,79 @@
+"""Fused-ensemble comparison across the six golden datasets.
+
+For every dataset, the calibrated ensemble (ETSB + Raha members) runs
+against its own members standalone -- same DiverSet labelled rows per
+run seed, so differences are attributable to fusion -- plus the
+self-attention family as an ablation row.  The gate: cross-fit
+arbitration must keep the ensemble's F1 at or above the best single
+member on at least 4 of the 6 datasets (when fusion does not help, the
+arbitration is expected to fall back to the winning member, which ties
+by construction).  Results land in ``results/BENCH_ensemble.json``.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.experiments import (
+    render_comparison,
+    run_detector_comparison,
+)
+
+MEMBERS = ("etsb", "raha")
+DETECTORS = ("etsb", "raha", "attn", "ensemble")
+MIN_WINS = 4
+
+
+@pytest.mark.benchmark(group="ensemble")
+def test_ensemble_matches_or_beats_best_member(benchmark, pairs, scale):
+    n_runs = max(1, scale.n_runs // 2)
+
+    def run():
+        return {
+            dataset: run_detector_comparison(
+                pair, detectors=DETECTORS, n_runs=n_runs,
+                n_label_tuples=scale.n_label_tuples, epochs=scale.epochs,
+                base_seed=0)
+            for dataset, pair in pairs.items()
+        }
+
+    by_dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    wins = 0
+    rendered = []
+    for dataset, results in by_dataset.items():
+        best_member = max(results[m].f1.mean for m in MEMBERS)
+        ensemble_f1 = results["ensemble"].f1.mean
+        won = ensemble_f1 >= best_member - 1e-12
+        wins += won
+        for name, result in results.items():
+            row = {"dataset": dataset, "detector": name,
+                   "system": result.system,
+                   **{k: round(v, 4) for k, v in result.as_row().items()}}
+            rows.append(row)
+        rows.append({"dataset": dataset, "detector": "ensemble_vs_best",
+                     "best_member_f1": round(best_member, 4),
+                     "ensemble_f1": round(ensemble_f1, 4),
+                     "ensemble_wins_or_ties": bool(won)})
+        rendered.append(f"--- {dataset} ---\n{render_comparison(results)}")
+
+    payload = {
+        "benchmark": "ensemble",
+        "members": list(MEMBERS),
+        "detectors": list(DETECTORS),
+        "settings": {"n_runs": n_runs, "epochs": scale.epochs,
+                     "n_label_tuples": scale.n_label_tuples},
+        "wins": int(wins),
+        "n_datasets": len(by_dataset),
+        "rows": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_ensemble.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    write_result("ensemble_comparison.txt", "\n\n".join(rendered))
+
+    assert wins >= MIN_WINS, (
+        f"ensemble matched/beat the best member on only {wins} of "
+        f"{len(by_dataset)} datasets (need {MIN_WINS})")

@@ -28,7 +28,7 @@ def test_family_matrix(benchmark, scale):
 
     def run():
         return run_family_matrix(
-            clean, systems=("etsb", "raha"), rate=0.1,
+            clean, systems=("etsb", "attn", "raha", "ensemble"), rate=0.1,
             n_runs=max(1, scale.n_runs // 2),
             n_label_tuples=scale.n_label_tuples,
             epochs=scale.epochs, seed=0)
@@ -46,6 +46,18 @@ def test_family_matrix(benchmark, scale):
                                     "format_drift", "truncation",
                                     "value_swap"}
     for family in matrix.families:
-        cell = matrix.cell(family, "etsb")
-        assert cell.n_errors > 0, f"{family}: no errors injected"
-        assert 0.0 <= cell.result.f1.mean <= 1.0
+        for system in matrix.systems:
+            cell = matrix.cell(family, system)
+            assert cell.n_errors > 0, f"{family}: no errors injected"
+            assert 0.0 <= cell.result.f1.mean <= 1.0
+    # Value swaps move *valid* values between rows of the same column:
+    # the evidence lives in other cells, so every per-cell model --
+    # recurrent, attention or fused -- should stay near zero there
+    # (correlated errors are the same story, but their conditioning cell
+    # occasionally leaks a visible artefact, so only the swap family is
+    # gated).
+    for system in ("etsb", "attn", "ensemble"):
+        swap = matrix.cell("value_swap", system)
+        assert swap.result.f1.mean <= 0.6, (
+            f"{system} scored F1={swap.result.f1.mean:.3f} on value_swap; "
+            "cross-cell families are expected near zero for per-cell models")

@@ -151,3 +151,11 @@ class AugmentationDetector:
                 return np.full(len(texts), self._constant, dtype=np.int64)
             raise NotFittedError("AugmentationDetector.fit has not been called")
         return self._classifier.predict(self._featurize(texts))
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """Positive-class probability per cell text (for score fusion)."""
+        if self._classifier is None:
+            if hasattr(self, "_constant"):
+                return np.full(len(texts), float(self._constant))
+            raise NotFittedError("AugmentationDetector.fit has not been called")
+        return self._classifier.predict_proba(self._featurize(texts))

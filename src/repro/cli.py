@@ -107,7 +107,8 @@ def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_training_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--arch", choices=("tsb", "etsb"), default="etsb",
+    parser.add_argument("--arch", choices=("tsb", "etsb", "attn"),
+                        default="etsb",
                         help="model architecture (default: etsb)")
     parser.add_argument("--epochs", type=int, default=120,
                         help="training epochs (default: 120, the paper's)")
@@ -136,6 +137,11 @@ def _add_benchmark_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--task-timeout", type=float, default=None,
                         help="per-task wall-clock limit in seconds "
                              "(enforced with --workers > 1 only)")
+    parser.add_argument("--detectors", default=None, metavar="NAMES",
+                        help="comma-separated registry detectors (e.g. "
+                             "etsb,raha,attn,ensemble); runs the "
+                             "cross-detector comparison over shared "
+                             "labelled rows instead of one architecture")
     _add_training_flags(parser)
     _add_telemetry_flag(parser)
 
@@ -496,6 +502,24 @@ def cmd_benchmark(args) -> int:
     pair = load(args.dataset, n_rows=args.rows, seed=args.seed)
     print(f"{args.dataset}: {pair.dirty.shape}, "
           f"error rate {pair.measured_error_rate():.2%}", file=sys.stderr)
+    if getattr(args, "detectors", None):
+        from repro.detectors import list_detectors
+        from repro.experiments import (
+            render_comparison,
+            run_detector_comparison,
+        )
+        names = tuple(n.strip() for n in args.detectors.split(",") if n.strip())
+        unknown = [n for n in names if n not in list_detectors()]
+        if unknown:
+            print(f"error: unknown detectors {unknown}; registered: "
+                  f"{list(list_detectors())}", file=sys.stderr)
+            return 1
+        results = run_detector_comparison(
+            pair, detectors=names, n_runs=args.runs,
+            n_label_tuples=args.tuples, epochs=args.epochs,
+            base_seed=args.seed)
+        print(render_comparison(results))
+        return 0
     # Durability flags switch the runner to graceful degradation: a task
     # that exhausts its retries becomes a failure record instead of
     # aborting the sweep, and --resume makes the re-invocation cheap.

@@ -1,0 +1,64 @@
+"""The pluggable detector registry: ``register`` / ``get`` / ``list_detectors``.
+
+The ``get_errors(detectors=[...])`` idiom: experiment tables, the CLI's
+``--detectors`` flag and the ensemble all name detectors by registry key
+and build them from keyword configs, so a new family lands by defining a
+:class:`~repro.detectors.base.Detector` subclass and registering it --
+no bespoke plumbing in the serving or experiment layers, and the
+conformance suite picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from repro.detectors.base import CAPABILITIES, Detector
+from repro.errors import ConfigurationError
+
+_REGISTRY: dict[str, type[Detector]] = {}
+
+
+def register(cls: type[Detector]) -> type[Detector]:
+    """Class decorator adding a detector family to the registry.
+
+    Validates the subclass contract eagerly -- a misdeclared family
+    fails at import time, not first use.  Re-registering a name with a
+    *different* class is an error; re-running the same decorator (e.g. a
+    module reload) is idempotent.
+    """
+    name = getattr(cls, "name", "")
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"{cls.__name__} must define a non-empty string ``name``")
+    if not isinstance(cls, type) or not issubclass(cls, Detector):
+        raise ConfigurationError(
+            f"{name!r} must be a Detector subclass, got {cls!r}")
+    unknown = set(cls.capabilities) - set(CAPABILITIES)
+    if unknown:
+        raise ConfigurationError(
+            f"{name!r} declares unknown capabilities {sorted(unknown)}")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"detector name {name!r} is already registered to "
+            f"{existing.__name__}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get(name: str) -> type[Detector]:
+    """The detector class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; registered: {list_detectors()}"
+        ) from None
+
+
+def list_detectors() -> tuple[str, ...]:
+    """All registered detector names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build(name: str, **config) -> Detector:
+    """Construct an unfitted detector from its registry name and config."""
+    return get(name)(**config)

@@ -30,6 +30,13 @@ from repro.experiments.families import (
     run_family_matrix,
     save_family_matrix,
 )
+from repro.experiments.comparison import (
+    DETECTOR_LABELS,
+    render_comparison,
+    run_detector_comparison,
+    run_ensemble_baseline,
+    save_comparison,
+)
 from repro.experiments.journal import TaskJournal, task_key
 from repro.experiments.runner import (
     ExperimentResult,
@@ -58,6 +65,11 @@ __all__ = [
     "run_experiment_matrix",
     "run_raha_baseline",
     "run_augmentation_baseline",
+    "DETECTOR_LABELS",
+    "render_comparison",
+    "run_detector_comparison",
+    "run_ensemble_baseline",
+    "save_comparison",
     "FamilyCell",
     "FamilyMatrix",
     "default_family_specs",

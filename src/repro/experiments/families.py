@@ -107,8 +107,9 @@ def run_family_matrix(clean: Table, *, systems: tuple[str, ...] = ("etsb",),
                       seed: int = 0) -> FamilyMatrix:
     """Inject each family alone and evaluate every system on it.
 
-    ``systems`` may name architectures (``"tsb"``/``"etsb"``) or
-    ``"raha"`` for the from-scratch baseline.  Each family's pair is
+    ``systems`` may name architectures (``"tsb"``/``"etsb"``/``"attn"``),
+    ``"raha"`` for the from-scratch baseline, or ``"ensemble"`` for the
+    calibrated fusion of the default members.  Each family's pair is
     built deterministically from ``(clean, rate, seed)``, so the matrix
     is reproducible run to run.
     """
@@ -129,6 +130,11 @@ def run_family_matrix(clean: Table, *, systems: tuple[str, ...] = ("etsb",),
                 result = run_raha_baseline(
                     pair, n_runs=n_runs, n_label_tuples=n_label_tuples,
                     base_seed=seed)
+            elif system == "ensemble":
+                from repro.experiments.comparison import run_ensemble_baseline
+                result = run_ensemble_baseline(
+                    pair, n_runs=n_runs, n_label_tuples=n_label_tuples,
+                    epochs=epochs, base_seed=seed)
             else:
                 result = run_experiment(
                     pair, architecture=system, n_runs=n_runs,

@@ -37,6 +37,13 @@ from repro.nn import EpochEvaluator
 from repro.nn.training import predict_proba
 from repro.sampling import DiverSet, Sampler
 
+#: Report labels for the neural architectures (Table 3 naming).
+ARCHITECTURE_LABELS = {
+    "tsb": "TSB-RNN",
+    "etsb": "ETSB-RNN",
+    "attn": "Attn-ED",
+}
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -353,7 +360,7 @@ def run_experiment(pair: DatasetPair, architecture: str = "etsb",
         tasks, n_workers, max_retries=max_retries,
         retry_backoff=retry_backoff, task_timeout=task_timeout,
         journal=journal, fail_fast=fail_fast)
-    system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
+    system = ARCHITECTURE_LABELS.get(architecture, architecture)
     result = ExperimentResult(dataset=pair.name, system=system,
                               runs=tuple(run for run in runs
                                          if run is not None),
@@ -414,7 +421,7 @@ def run_experiment_matrix(pairs: Sequence[DatasetPair],
         tasks, n_workers, max_retries=max_retries,
         retry_backoff=retry_backoff, task_timeout=task_timeout,
         journal=journal, fail_fast=fail_fast)
-    system = "ETSB-RNN" if architecture == "etsb" else "TSB-RNN"
+    system = ARCHITECTURE_LABELS.get(architecture, architecture)
     results: dict[str, ExperimentResult] = {}
     for i, pair in enumerate(pairs):
         chunk = runs[i * n_runs:(i + 1) * n_runs]

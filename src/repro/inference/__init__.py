@@ -20,7 +20,11 @@ This package exploits that:
 """
 
 from repro.inference.cache import PredictionCache
-from repro.inference.engine import InferenceEngine, InferenceStats
+from repro.inference.engine import (
+    InferenceEngine,
+    InferenceStats,
+    model_fingerprint,
+)
 from repro.inference.index import DedupIndex, build_dedup_index
 
 __all__ = [
@@ -28,5 +32,6 @@ __all__ = [
     "build_dedup_index",
     "InferenceEngine",
     "InferenceStats",
+    "model_fingerprint",
     "PredictionCache",
 ]

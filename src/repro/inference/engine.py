@@ -19,6 +19,7 @@ allocation beyond the returned output.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import time
 
 from collections.abc import Mapping
@@ -42,6 +43,27 @@ WORKER_MODES = ("thread", "process")
 #: Feature keys with a (batch, time) layout whose padded tails may be
 #: trimmed to the chunk maximum (mirrors repro.nn.training.SEQUENCE_KEYS).
 TRIM_KEYS = ("values",)
+
+
+def model_fingerprint(model) -> str:
+    """Stable identity of a model family and topology (not its weights).
+
+    Hashes the class name plus every parameter's dotted path and shape.
+    Two registered families (or two differently-sized instances of one
+    family) can therefore never serve each other's cache entries, even
+    when they share a tenant cache and happen to agree on
+    ``weights_version``.  Weight *values* are deliberately excluded --
+    within one topology, ``weights_version`` (via
+    :meth:`~repro.inference.cache.PredictionCache.sync_version`) already
+    invalidates on every update, and hashing weights per call would put
+    a full-parameter scan on the hot path.
+    """
+    parts = [type(model).__name__]
+    names = getattr(model, "named_parameters", None)
+    if names is not None:
+        parts.extend(f"{name}:{tuple(p.data.shape)}"
+                     for name, p in sorted(names()))
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
 def pad_single_row(chunk: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -173,13 +195,19 @@ class InferenceEngine:
         by tolerance tests rather than bit equality).
     worker_mode:
         ``"thread"`` (default) or ``"process"``.
+    fingerprint:
+        Identity prefixed to every cache key (default: derived from the
+        model's class and parameter topology via
+        :func:`model_fingerprint`).  Pass an explicit value to segregate
+        entries further, e.g. per ensemble member configuration.
     """
 
     def __init__(self, model, cache: PredictionCache | None = None,
                  batch_size: int = 256,
                  trim_keys: tuple[str, ...] = TRIM_KEYS,
                  workers: int = 0, precision: str = "float64",
-                 worker_mode: str = "thread"):
+                 worker_mode: str = "thread",
+                 fingerprint: str | None = None):
         _validate_precision(precision)
         if worker_mode not in WORKER_MODES:
             raise ConfigurationError(
@@ -195,6 +223,9 @@ class InferenceEngine:
         self.workers = workers
         self.precision = precision
         self.worker_mode = worker_mode
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else model_fingerprint(model))
+        self._key_tag = self.fingerprint.encode() + b"|"
         self.last_stats = InferenceStats()
         self.total_stats = InferenceStats()
         self._gather_buffers: dict[str, np.ndarray] = {}
@@ -347,13 +378,16 @@ class InferenceEngine:
         miss_positions: np.ndarray
         if self.cache is not None:
             self.cache.sync_version(getattr(self.model, "weights_version", 0))
-            keys = _row_key_bytes(features, reps)
+            # Keys carry the engine's model fingerprint, so two detector
+            # families sharing a tenant cache can never collide on the
+            # same feature bytes.
+            tag = self._key_tag
             if precision != "float64":
                 # Reduced-precision results are only tolerance-close to
                 # the reference; tag their keys so a float64 caller can
                 # never be served a float32/int8 entry (or vice versa).
-                tag = precision.encode() + b":"
-                keys = [tag + key for key in keys]
+                tag = precision.encode() + b":" + tag
+            keys = [tag + key for key in _row_key_bytes(features, reps)]
             misses = []
             for position, key in enumerate(keys):
                 entry = self.cache.get(key)

@@ -36,6 +36,9 @@ class ModelConfig:
         Recurrence family: ``"rnn"`` (the paper's tanh RNN), ``"lstm"``
         or ``"gru"`` (the heavier alternatives of the related-work
         comparison; used by the cell-type ablation bench).
+    attn_dim:
+        Projection width of the pattern-perceptive self-attention
+        encoder (the ``"attn"`` family); unused by the RNN families.
     """
 
     char_embed_dim: int = 32
@@ -46,11 +49,12 @@ class ModelConfig:
     length_dense_units: int = 64
     head_units: int = 32
     cell_type: str = "rnn"
+    attn_dim: int = 32
 
     def __post_init__(self) -> None:
         for name in ("char_embed_dim", "value_units", "num_layers",
                      "attr_embed_dim", "attr_units", "length_dense_units",
-                     "head_units"):
+                     "head_units", "attn_dim"):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be >= 1")
         if self.cell_type not in ("rnn", "lstm", "gru"):

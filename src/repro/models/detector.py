@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError, NotFittedError
 from repro.inference import InferenceStats, PredictionCache
 from repro.inference.index import DedupIndex
 from repro.metrics import ClassificationReport
+from repro.models.attn import PatternAttentionEncoder
 from repro.models.config import ModelConfig, TrainingConfig
 from repro.models.etsb_rnn import ETSBRNN
 from repro.models.tsb_rnn import TSBRNN
@@ -42,7 +43,7 @@ from repro.nn.module import Module
 from repro.sampling import DiverSet, Sampler
 from repro.table import Table
 
-ARCHITECTURES = ("tsb", "etsb")
+ARCHITECTURES = ("tsb", "etsb", "attn")
 
 #: Maps a tuple id and its attribute-ordered dirty values to 0/1 labels.
 LabelFunction = Callable[[int, dict[str, str]], Sequence[int]]
@@ -50,12 +51,19 @@ LabelFunction = Callable[[int, dict[str, str]], Sequence[int]]
 
 def build_model(architecture: str, prepared: PreparedData,
                 config: ModelConfig, rng: np.random.Generator) -> Module:
-    """Instantiate TSB-RNN or ETSB-RNN for a prepared dataset."""
+    """Instantiate TSB-RNN, ETSB-RNN or the attention family for a dataset."""
     if architecture == "tsb":
         return TSBRNN(prepared.char_index.vocab_size, config, rng)
     if architecture == "etsb":
         return ETSBRNN(prepared.char_index.vocab_size,
                        prepared.attribute_index.vocab_size, config, rng)
+    if architecture == "attn":
+        from repro.nn.attention import pattern_table
+        return PatternAttentionEncoder(
+            prepared.char_index.vocab_size,
+            prepared.attribute_index.vocab_size,
+            pattern_table(prepared.char_index), prepared.max_length,
+            config, rng)
     raise ConfigurationError(
         f"architecture must be one of {ARCHITECTURES}, got {architecture!r}"
     )
@@ -164,6 +172,10 @@ class ErrorDetector:
             raise ConfigurationError(
                 f"inference_precision must be one of {PRECISION_MODES}, "
                 f"got {inference_precision!r}")
+        if architecture == "attn" and inference_precision != "float64":
+            raise ConfigurationError(
+                "the attention family has no reduced-precision evaluator; "
+                "use inference_precision='float64'")
         if not deduplicate and inference_precision != "float64":
             raise ConfigurationError(
                 "reduced-precision inference requires the dedup engine; "

@@ -1,0 +1,44 @@
+"""Shared fixtures for the detector-registry tests.
+
+One small dataset pair serves every conformance check, and fitted
+detectors are cached per ``(name, backend)`` -- the conformance pass
+re-runs for every registered family on both autograd backends, and
+refitting the same tiny detector for each property would dominate the
+suite's runtime without adding coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.detectors import get
+from repro.nn.backend import use_backend
+
+N_ROWS = 40
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def pair():
+    return load("beers", n_rows=N_ROWS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def fitted_cache():
+    return {}
+
+
+@pytest.fixture
+def fitted(pair, fitted_cache):
+    """``fitted(name, backend)`` -> (detector, scores), cached."""
+    def _fitted(name: str, backend: str):
+        key = (name, backend)
+        if key not in fitted_cache:
+            with use_backend(backend):
+                detector = get(name).example(seed=SEED).fit(pair)
+                scores = detector.score_cells(pair.dirty)
+            fitted_cache[key] = (detector, np.asarray(scores))
+        return fitted_cache[key]
+    return _fitted

@@ -11,8 +11,8 @@ import json
 import pytest
 
 from tests.golden.update_golden import (
-    ARCHITECTURES,
     GOLDEN_PATH,
+    SYSTEMS,
     compute_cell,
 )
 
@@ -24,13 +24,13 @@ CELLS = sorted(GOLDEN["metrics"])
 def test_golden_covers_full_grid():
     from repro.datasets import DATASET_NAMES
 
-    expected = {f"{d}/{a}" for d in DATASET_NAMES for a in ARCHITECTURES}
+    expected = {f"{d}/{s}" for d in DATASET_NAMES for s in SYSTEMS}
     assert set(CELLS) == expected
 
 
 @pytest.mark.parametrize("cell", CELLS)
 def test_metrics_match_golden(cell):
-    dataset, architecture = cell.split("/")
-    assert compute_cell(dataset, architecture) == GOLDEN["metrics"][cell], (
+    dataset, system = cell.split("/")
+    assert compute_cell(dataset, system) == GOLDEN["metrics"][cell], (
         f"metrics drifted for {cell}; if intentional, regenerate with "
         "`python tests/golden/update_golden.py` and commit the diff")

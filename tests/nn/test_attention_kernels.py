@@ -1,0 +1,110 @@
+"""Gradchecks and backend equivalence for the attention autograd kernels.
+
+Mirrors ``tests/nn/test_kernels.py`` for the self-attention encoder's
+two fused Functions: finite-difference gradchecks (including the
+batch-of-one and length-one edge groups the duplicate-padding guards),
+bitwise fused-vs-graph forward equivalence, gradient closeness at the
+repo's standard tolerance, and subset invariance of the length-grouped
+pooling (the bit-stability property dedup chunking relies on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck_function
+from repro.nn.attention import (
+    AttentionPoolFunction,
+    PatternEmbedFunction,
+    attention_pool,
+    effective_lengths,
+    pattern_embed,
+)
+from repro.nn.backend import use_backend
+
+D, A = 4, 3          # embedding width, attention width
+VOCAB, PATTERNS, STEPS = 7, 5, 6
+
+
+def _embed_inputs(seed=0, n_rows=3, n_steps=STEPS):
+    rng = np.random.default_rng(seed)
+    char_w = Tensor(rng.normal(size=(VOCAB, D)), requires_grad=True)
+    pat_w = Tensor(rng.normal(size=(PATTERNS, D)), requires_grad=True)
+    pos_w = Tensor(rng.normal(size=(n_steps, D)), requires_grad=True)
+    values = rng.integers(0, VOCAB, size=(n_rows, n_steps))
+    pattern_ids = rng.integers(0, PATTERNS, size=(n_rows, n_steps))
+    return char_w, pat_w, pos_w, values, pattern_ids
+
+
+def _pool_inputs(lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_steps = int(lengths.max())
+    x = Tensor(rng.normal(size=(lengths.size, n_steps, D)),
+               requires_grad=True)
+    wq = Tensor(0.5 * rng.normal(size=(D, A)), requires_grad=True)
+    wk = Tensor(0.5 * rng.normal(size=(D, A)), requires_grad=True)
+    wv = Tensor(0.5 * rng.normal(size=(D, A)), requires_grad=True)
+    return x, wq, wk, wv, lengths, 1.0 / np.sqrt(A)
+
+
+class TestGradchecks:
+    def test_pattern_embed(self):
+        gradcheck_function(PatternEmbedFunction, _embed_inputs())
+
+    def test_pattern_embed_single_row(self):
+        gradcheck_function(PatternEmbedFunction, _embed_inputs(n_rows=1))
+
+    @pytest.mark.parametrize("lengths", [
+        (3, 5, 5, 2), (4,), (1,), (1, 1, 3)],
+        ids=["mixed", "batch1", "length1", "length1-group"])
+    def test_attention_pool(self, lengths):
+        gradcheck_function(AttentionPoolFunction, _pool_inputs(lengths))
+
+    def test_constant_x_receives_no_gradient(self):
+        x, wq, wk, wv, lengths, scale = _pool_inputs((3, 2))
+        frozen = Tensor(x.data)
+        out = AttentionPoolFunction.apply(frozen, wq, wk, wv, lengths, scale)
+        (out * out).sum().backward()
+        assert frozen.grad is None
+        assert all(p.grad is not None for p in (wq, wk, wv))
+
+
+class TestBackendEquivalence:
+    def _run(self, backend, factory, op):
+        with use_backend(backend):
+            args = factory()
+            out = op(*args)
+            out.sum().backward()
+            grads = [a.grad.copy() for a in args if isinstance(a, Tensor)]
+        return out.data, grads
+
+    @pytest.mark.parametrize("op,factory", [
+        (pattern_embed, _embed_inputs),
+        (attention_pool, lambda: _pool_inputs((3, 5, 5, 1, 2))),
+    ], ids=["embed", "pool"])
+    def test_fused_matches_graph(self, op, factory):
+        fused_out, fused_grads = self._run("fused", factory, op)
+        graph_out, graph_grads = self._run("graph", factory, op)
+        np.testing.assert_array_equal(fused_out, graph_out)
+        assert len(fused_grads) == len(graph_grads)
+        for fused, graph in zip(fused_grads, graph_grads):
+            np.testing.assert_allclose(fused, graph, rtol=1e-9, atol=1e-12)
+
+
+class TestSubsetInvariance:
+    @pytest.mark.parametrize("backend", ["fused", "graph"])
+    def test_pooled_rows_do_not_depend_on_batch_composition(self, backend):
+        x, wq, wk, wv, lengths, scale = _pool_inputs((3, 5, 5, 1, 2, 5),
+                                                     seed=7)
+        with use_backend(backend):
+            full = attention_pool(x, wq, wk, wv, lengths, scale).data
+            subset = np.array([4, 0, 2])
+            part = attention_pool(Tensor(x.data[subset]), wq, wk, wv,
+                                  lengths[subset], scale).data
+        np.testing.assert_array_equal(part, full[subset])
+
+
+class TestEffectiveLengths:
+    def test_zero_padded_rows_counted(self):
+        values = np.array([[3, 2, 0, 0], [1, 0, 0, 0], [0, 0, 0, 0]])
+        np.testing.assert_array_equal(effective_lengths(values), [2, 1, 1])

@@ -1,0 +1,153 @@
+"""Hot-swapping across detector families (ETSB -> attention).
+
+The registry's replace path is family-agnostic: publishing an
+architecturally different archive must rebuild the engine, bump the
+served version strictly, flush the shared prediction cache exactly once,
+and never let a micro-batch mix weight versions.  The engine-level
+fingerprint keying is what makes the *shared* cache safe: two families
+scoring identical feature rows under the same weights version must never
+read each other's probabilities.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.inference import InferenceEngine, PredictionCache, model_fingerprint
+from repro.serving import MicroBatcher, ModelRegistry
+from repro.serving.registry import DEFAULT_TENANT
+
+from tests.serving.conftest import build_detector, encode_cells
+
+
+class TestCrossFamilySwap:
+    def test_publish_attn_over_etsb_replaces_and_flushes_once(self, prepared):
+        etsb = build_detector(prepared, architecture="etsb", seed=0)
+        attn = build_detector(prepared, architecture="attn", seed=1)
+        values = ["80,000", "98000", "zzz", "8000"]
+        features, lengths = encode_cells(etsb, values)
+
+        reference_engine = InferenceEngine(attn.model)
+        try:
+            reference = reference_engine.predict_proba(features,
+                                                       lengths=lengths)
+        finally:
+            reference_engine.close()
+
+        registry = ModelRegistry()
+        try:
+            entry = registry.add(detector=etsb)
+            before = entry.engine.predict_proba(features, lengths=lengths)
+            assert len(entry.cache) > 0
+            flushes_before = entry.cache.stats()["invalidations"]
+            old_version = entry.version
+
+            outcome = registry.publish(DEFAULT_TENANT, detector=attn)
+            assert outcome["mode"] == "replace"
+            assert outcome["version"] > old_version
+
+            entry = registry.get(DEFAULT_TENANT)
+            after = entry.engine.predict_proba(features, lengths=lengths)
+            np.testing.assert_array_equal(after, reference)
+            assert not np.array_equal(after, before)
+            assert (entry.cache.stats()["invalidations"]
+                    == flushes_before + 1)
+
+            # A second scoring pass reuses the flushed cache: no
+            # further invalidations, warm hits instead.
+            entry.engine.predict_proba(features, lengths=lengths)
+            assert (entry.cache.stats()["invalidations"]
+                    == flushes_before + 1)
+        finally:
+            registry.close()
+
+    def test_no_batch_mixes_versions_across_families(self, prepared):
+        etsb = build_detector(prepared, architecture="etsb", seed=0)
+        attn = build_detector(prepared, architecture="attn", seed=1)
+        values = ["80,000", "98000", "zzz", "8000"]
+        features, lengths = encode_cells(etsb, values)
+
+        references = {}
+        for name, detector in (("etsb", etsb), ("attn", attn)):
+            engine = InferenceEngine(detector.model)
+            try:
+                references[name] = engine.predict_proba(features,
+                                                        lengths=lengths)
+            finally:
+                engine.close()
+
+        registry = ModelRegistry()
+        batcher = MicroBatcher(registry, max_delay_s=0.002).start()
+        results = []
+        results_lock = threading.Lock()
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    result = batcher.predict(DEFAULT_TENANT, features,
+                                             lengths)
+                    with results_lock:
+                        results.append(result)
+            except Exception as exc:  # noqa: BLE001 -- surfaced below
+                errors.append(exc)
+
+        try:
+            entry = registry.add(detector=etsb)
+            version_of = {entry.version: "etsb"}
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            outcome = registry.publish(DEFAULT_TENANT, detector=attn)
+            version_of[outcome["version"]] = "attn"
+            for thread in threads:
+                thread.join()
+        finally:
+            batcher.close()
+            registry.close()
+
+        assert not errors
+        assert len(results) == 80
+        for result in results:
+            family = version_of[result.weights_version]
+            np.testing.assert_array_equal(result.probabilities,
+                                          references[family])
+
+
+class TestSharedCacheFingerprintSegregation:
+    def test_two_families_sharing_one_cache_never_collide(self, prepared):
+        """Identical rows + identical version, different model family."""
+        etsb = build_detector(prepared, architecture="etsb", seed=0)
+        attn = build_detector(prepared, architecture="attn", seed=1)
+        values = ["80,000", "98000", "zzz", "8000"]
+        features, lengths = encode_cells(etsb, values)
+
+        assert (model_fingerprint(etsb.model)
+                != model_fingerprint(attn.model))
+        assert etsb.model.weights_version == attn.model.weights_version
+
+        bare = InferenceEngine(attn.model)
+        try:
+            reference = bare.predict_proba(features, lengths=lengths)
+        finally:
+            bare.close()
+
+        cache = PredictionCache(capacity=4096)
+        first = InferenceEngine(etsb.model, cache=cache)
+        second = InferenceEngine(attn.model, cache=cache)
+        try:
+            etsb_probs = first.predict_proba(features, lengths=lengths)
+            attn_probs = second.predict_proba(features, lengths=lengths)
+        finally:
+            first.close()
+            second.close()
+        np.testing.assert_array_equal(attn_probs, reference)
+        assert not np.array_equal(attn_probs, etsb_probs)
+
+    def test_explicit_fingerprint_overrides_the_derived_one(self, prepared):
+        etsb = build_detector(prepared, architecture="etsb", seed=0)
+        engine = InferenceEngine(etsb.model, fingerprint="member-a")
+        try:
+            assert engine.fingerprint == "member-a"
+        finally:
+            engine.close()
